@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Ablation: failure management (Section 4.4). Sweeps the mitigation
+ * stack — integrity checks, abort-on-failure + golden-task
+ * screening, host repair flow — against injected hard and silent
+ * (black-holing) faults, reporting escaped corruption, goodput, and
+ * blast radius.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+struct Scenario
+{
+    const char *name;
+    double detect_prob;
+    bool abort_and_screen;
+    bool repairs;
+};
+
+ClusterMetrics
+run(const Scenario &s, BlastRadiusTracker *blast)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 2;
+    cfg.vcus_per_host = 10;
+    cfg.seed = 77;
+    cfg.vcu_hard_fault_per_hour = 0.4;
+    cfg.vcu_silent_fault_per_hour = 0.5;
+    cfg.silent_speed_factor = 0.35; // Black holes look fast.
+    cfg.failure.integrity_detect_prob = s.detect_prob;
+    cfg.failure.golden_screening = s.abort_and_screen;
+    cfg.failure.abort_on_failure = s.abort_and_screen;
+    cfg.failure.host_fault_threshold = s.repairs ? 4 : 1000000;
+    cfg.failure.repair_seconds = 1200.0;
+    cfg.failure.repair_cap = 1;
+
+    ClusterSim sim(cfg);
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 2.0;
+    traffic.seed = 5;
+    UploadTraffic gen(traffic);
+    const auto metrics = sim.run(3600.0, 1.0, gen.asArrivalFn());
+    if (blast)
+        *blast = sim.blastRadius();
+    return metrics;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Scenario scenarios[] = {
+        {"none", 0.0, false, false},
+        {"integrity only", 0.9, false, false},
+        {"integrity+abort+golden", 0.9, true, false},
+        {"full (with repair flow)", 0.9, true, true},
+    };
+
+    std::printf("Failure-management ablation: 20 VCUs, 1 simulated "
+                "hour, injected hard+silent faults\n\n");
+    std::printf("%-24s %9s %9s %9s %8s %8s %9s\n", "mitigations",
+                "escaped", "detected", "corrupt", "quarant", "repaired",
+                "Mpix/VCU");
+    std::printf("%-24s %9s %9s %9s %8s %8s %9s\n", "", "chunks",
+                "chunks", "videos", "workers", "hosts", "");
+    for (const auto &s : scenarios) {
+        BlastRadiusTracker blast;
+        const auto m = run(s, &blast);
+        std::printf("%-24s %9llu %9llu %9zu %8d %8llu %9.1f\n", s.name,
+                    static_cast<unsigned long long>(m.corrupt_escaped),
+                    static_cast<unsigned long long>(m.corrupt_detected),
+                    blast.corruptVideos(), m.workers_quarantined,
+                    static_cast<unsigned long long>(m.hosts_repaired),
+                    m.mpix_per_vcu);
+    }
+
+    std::printf("\nshape to check: escaped corruption collapses once "
+                "workers abort and golden-screen\n(the black-holing "
+                "mitigation), while goodput stays within a few "
+                "percent.\n");
+
+    // Blast radius: chunks of one video spread across many VCUs, so
+    // one bad VCU touches many videos. The paper's suggested
+    // refinement — consistent hashing — confines each video to a
+    // small affinity set; both placements are measured here.
+    auto blast_with = [](bool hashing) {
+        ClusterConfig cfg;
+        cfg.hosts = 2;
+        cfg.vcus_per_host = 10;
+        cfg.seed = 99;
+        cfg.use_consistent_hashing = hashing;
+        cfg.affinity_set_size = 3;
+        ClusterSim sim(cfg);
+        for (int c = 0; c < 120; ++c) {
+            sim.submit(makeMotStep(static_cast<uint64_t>(c), 1, c,
+                                   {1920, 1080},
+                                   wsva::video::codec::CodecType::VP9));
+        }
+        sim.run(600.0, 1.0);
+        return sim.blastRadius().vcusTouching(1);
+    };
+    std::printf("\nblast radius of one 120-chunk video: %zu VCUs with "
+                "first-fit placement,\n%zu VCUs with consistent-hash "
+                "affinity placement (paper's suggested enhancement).\n",
+                blast_with(false), blast_with(true));
+    return 0;
+}

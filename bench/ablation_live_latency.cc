@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Ablation: live-streaming latency (Section 4.5). Software VP9
+ * achieved throughput only via chunk-level parallelism (5-6 chunks
+ * in flight, each 2 s of video taking ~10 s to encode) plus
+ * buffering against encode-time variance, yielding ~30 s+ camera-to-
+ * eyeball latency. The VCU encodes in real time with low variance,
+ * enabling ~5 s. This bench sweeps segment lengths and variance
+ * margins through the latency model, with VCU encode times from the
+ * hardware timing model.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vcu/encoder_core.h"
+#include "video/codec/codec.h"
+
+using namespace wsva::vcu;
+using wsva::video::codec::CodecType;
+
+namespace {
+
+/**
+ * End-to-end latency of segment streaming: ingest one segment,
+ * encode it (with a buffering margin proportional to encode-time
+ * variance), deliver. Parallelism hides *throughput* gaps, not the
+ * per-segment encode latency.
+ */
+double
+endToEnd(double segment_s, double encode_s, double variance_frac)
+{
+    return segment_s + encode_s * (1.0 + variance_frac);
+}
+
+} // namespace
+
+int
+main()
+{
+    EncoderCoreModel core;
+
+    std::printf("Live 1080p30 VP9 latency: software chunk-parallel vs "
+                "VCU real-time\n\n");
+    std::printf("%-9s | %10s %9s %9s | %10s %9s\n", "segment",
+                "sw encode", "sw lag", "parallel", "vcu encode",
+                "vcu lag");
+    for (const double seg : {1.0, 2.0, 4.0}) {
+        // Software: ~5x slower than real time with ~2x variance
+        // buffering (paper: 2 s chunk -> 10 s encode, "additional
+        // buffering was needed due to high variance").
+        const double sw_encode = seg * 5.0;
+        const double sw_lag = endToEnd(seg, sw_encode, 2.0);
+        const int parallel =
+            static_cast<int>(std::max(1.0, sw_encode / seg + 0.999));
+
+        EncodeJob job;
+        job.width = 1920;
+        job.height = 1080;
+        job.fps = 30.0;
+        job.frame_count = static_cast<int>(seg * job.fps);
+        job.codec = CodecType::VP9;
+        const auto est = core.estimate(job);
+        const double hw_lag = endToEnd(seg, est.seconds, 0.2);
+
+        std::printf("%7.0f s | %8.1f s %7.1f s %8dx | %8.2f s %7.1f "
+                    "s\n", seg, sw_encode, sw_lag, parallel,
+                    est.seconds, hw_lag);
+    }
+
+    std::printf("\n(paper: software VP9 live needed 5-6 parallel "
+                "2-second chunks and >30 s latency;\n the VCU's "
+                "consistent speed enabled an affordable ~5 s "
+                "end-to-end stream)\n\n");
+
+    // Stadia: the tightest case - per-frame latency at 4K60.
+    EncodeJob stadia;
+    stadia.width = 3840;
+    stadia.height = 2160;
+    stadia.fps = 60.0;
+    stadia.frame_count = 60;
+    stadia.codec = CodecType::VP9;
+    const auto est = core.estimate(stadia);
+    std::printf("cloud gaming (Stadia): 4K60 VP9 per-frame encode "
+                "%.2f ms vs 16.67 ms budget (realtime=%s)\n",
+                est.seconds / stadia.frame_count * 1e3,
+                est.realtime ? "yes" : "no");
+    return 0;
+}

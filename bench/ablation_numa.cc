@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: NUMA-aware scheduling (Section 4.3). Production
+ * profiling found ~40 Gbps of inter-socket traffic on loaded VCU
+ * hosts; pinning accelerator jobs NUMA-locally recovered 16-25%
+ * throughput. The cluster model applies the measured penalty to
+ * service times when NUMA-unaware.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+double
+run(bool aware, double penalty)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 10;
+    cfg.seed = 3;
+    cfg.numa_aware = aware;
+    cfg.numa_penalty_factor = penalty;
+
+    ClusterSim sim(cfg);
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 8.0; // Saturating.
+    traffic.seed = 13;
+    UploadTraffic gen(traffic);
+    const auto m = sim.run(1200.0, 0.05, gen.asArrivalFn());
+    return m.output_pixels / m.sim_seconds / 1e6;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NUMA-awareness ablation (saturating upload load, 10 "
+                "VCUs)\n\n");
+    std::printf("%-22s %12s %12s %8s\n", "cross-socket penalty",
+                "unaware", "aware", "gain");
+    for (const double penalty : {1.16, 1.20, 1.25}) {
+        const double unaware = run(false, penalty);
+        const double aware = run(true, penalty);
+        std::printf("%-22.2f %8.0f Mpx %8.0f Mpx %+6.1f%%\n", penalty,
+                    unaware, aware, 100.0 * (aware / unaware - 1.0));
+    }
+    std::printf("\n(paper: NUMA-aware scheduling rollout showed "
+                "performance gains of 16-25%%)\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: multi-dimensional bin-packing scheduler vs the legacy
+ * one-dimensional "single slot per graph step" model (Section 3.3.3).
+ * A mixed-size workload strands resources under slot scheduling —
+ * slots must be sized for the worst case, so small steps waste most
+ * of their reservation — while bin packing fills every dimension.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+ClusterMetrics
+run(bool binpack, double uploads_per_second)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 10;
+    cfg.seed = 42;
+    cfg.use_binpack = binpack;
+    // The legacy uniform cost model sized slots for the common worst
+    // case (a 1080p two-pass MOT), not the 2160p extreme.
+    cfg.slot_bundle = stepResourceNeed(
+        makeMotStep(0, 0, 0, {1920, 1080},
+                    wsva::video::codec::CodecType::VP9),
+        cfg.mapping);
+
+    ClusterSim sim(cfg);
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = uploads_per_second;
+    traffic.seed = 9;
+    UploadTraffic gen(traffic);
+    return sim.run(1200.0, 1.0, gen.asArrivalFn());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Scheduler ablation: bin packing vs legacy slots, "
+                "mixed-resolution upload mix, 10 VCUs\n\n");
+    std::printf("%-10s %-10s %10s %10s %10s %10s\n", "load", "sched",
+                "Mpix/VCU", "enc util", "dec util", "backlog");
+    for (const double load : {1.0, 2.0, 4.0}) {
+        for (const bool binpack : {false, true}) {
+            const auto m = run(binpack, load);
+            std::printf("%-10.1f %-10s %10.1f %9.1f%% %9.1f%% %10zu\n",
+                        load, binpack ? "binpack" : "slots",
+                        m.mpix_per_vcu, 100 * m.encoder_utilization,
+                        100 * m.decoder_utilization,
+                        m.backlog_remaining);
+        }
+    }
+
+    const auto slots = run(false, 4.0);
+    const auto packed = run(true, 4.0);
+    std::printf("\nat saturation, bin packing delivers %.2fx the "
+                "goodput of slot scheduling.\n",
+                packed.output_pixels / slots.output_pixels);
+    std::printf("note the stranding signature: the slot scheduler "
+                "*reserves* ~95%% of encode capacity\nbut converts "
+                "far less of it into output pixels.\n");
+    std::printf("(paper: the bin-packing scheduler was 'fundamental "
+                "to maximizing VCU utilization data center-wide')\n");
+    return 0;
+}

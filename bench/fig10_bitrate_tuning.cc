@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Reproduces Figure 10: hardware bitrate at iso-quality relative to
+ * the software encoders, over post-launch months. Each "month" maps
+ * to a hardware tuning level (the paper's rate-control and tool
+ * improvements rolled out through userspace software updates,
+ * Section 3.3.2/4.3); the metric is BD-rate of the VCU profile
+ * against the software profile, averaged over a corpus subset
+ * (weighting by per-format egress is approximated by an unweighted
+ * mean over the mixed-content clips).
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "video/codec/decoder.h"
+#include "video/codec/encoder.h"
+#include "video/metrics.h"
+#include "workload/vbench.h"
+
+using namespace wsva::video;
+using namespace wsva::video::codec;
+using namespace wsva::workload;
+
+namespace {
+
+constexpr int kQps[] = {24, 32, 40, 48};
+
+std::vector<RdPoint>
+rdCurve(const std::vector<Frame> &clip, CodecType codec, bool hardware,
+        int tuning)
+{
+    std::vector<RdPoint> points;
+    for (const int qp : kQps) {
+        EncoderConfig cfg;
+        cfg.codec = codec;
+        cfg.width = clip[0].width();
+        cfg.height = clip[0].height();
+        cfg.fps = 30.0;
+        cfg.rc_mode = RcMode::ConstQp;
+        cfg.base_qp = qp;
+        cfg.gop_length = static_cast<int>(clip.size());
+        cfg.hardware = hardware;
+        cfg.tuning_level = tuning;
+        const auto chunk = encodeSequence(cfg, clip);
+        const auto decoded = decodeChunkOrDie(chunk.bytes);
+        points.push_back(
+            {chunk.bitrateBps(), sequencePsnr(clip, decoded.frames)});
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main()
+{
+    // A mixed subset keeps the bench fast while covering the content
+    // space (screen content, pan, sports, texture).
+    const char *clip_names[] = {"presentation", "bike", "cricket",
+                                "hall", "cat"};
+    const auto corpus = vbenchCorpus(160, 16);
+
+    std::vector<std::vector<Frame>> clips;
+    for (const auto *name : clip_names)
+        clips.push_back(generateVideo(vbenchClip(corpus, name).spec));
+
+    // Software reference curves (fixed; the paper normalizes to the
+    // *contemporary* software encoder, which also improved — our
+    // software profile stands for its end state).
+    std::vector<std::vector<RdPoint>> sw_h264;
+    std::vector<std::vector<RdPoint>> sw_vp9;
+    for (const auto &clip : clips) {
+        sw_h264.push_back(rdCurve(clip, CodecType::H264, false, 8));
+        sw_vp9.push_back(rdCurve(clip, CodecType::VP9, false, 8));
+    }
+
+    std::printf("Figure 10: VCU bitrate vs software at iso-quality "
+                "(BD-rate, %% more bits)\n\n");
+    std::printf("%-7s %-7s %10s %10s\n", "month", "tuning", "VP9",
+                "H.264");
+    // Months 1..16 -> tuning levels 0..8 (improvements front-loaded,
+    // as in the figure).
+    // Median across clips: the BD cubic fit can blow up on a single
+    // degenerate curve, and the paper's egress weighting also damps
+    // outliers.
+    auto median = [](std::vector<double> v) {
+        std::sort(v.begin(), v.end());
+        return v[v.size() / 2];
+    };
+    for (int month = 1; month <= 16; month += 3) {
+        const int tuning = std::min(8, (month - 1) * 9 / 16 + month / 8);
+        std::vector<double> bd_vp9;
+        std::vector<double> bd_h264;
+        for (size_t c = 0; c < clips.size(); ++c) {
+            bd_vp9.push_back(bdRate(
+                sw_vp9[c],
+                rdCurve(clips[c], CodecType::VP9, true, tuning)));
+            bd_h264.push_back(bdRate(
+                sw_h264[c],
+                rdCurve(clips[c], CodecType::H264, true, tuning)));
+        }
+        std::printf("%-7d %-7d %+9.1f%% %+9.1f%%\n", month, tuning,
+                    median(bd_vp9), median(bd_h264));
+    }
+    std::printf("\n(paper: VP9 from ~+10%% to ~-2%%, H.264 from ~+8%% "
+                "to ~0%% over 16 months;\n shape to check: both series "
+                "decline monotonically toward software parity)\n");
+    return 0;
+}

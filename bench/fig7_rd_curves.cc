@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Reproduces Figure 7: operational rate-distortion curves for the
+ * 15-clip vbench-like corpus under four encoders — software H.264,
+ * VCU H.264, software VP9, VCU VP9 — plus the BD-rate summary the
+ * paper reports (VCU-VP9 vs libx264 ~-30%; VCU-H264 ~+11.5% vs
+ * libx264; VCU-VP9 ~+18% vs libvpx). Every number here is a real
+ * encode/decode of this repository's codec.
+ */
+
+#include <array>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "video/codec/decoder.h"
+#include "video/codec/encoder.h"
+#include "video/metrics.h"
+#include "workload/vbench.h"
+
+using namespace wsva::video;
+using namespace wsva::video::codec;
+using namespace wsva::workload;
+
+namespace {
+
+constexpr int kQps[] = {20, 28, 36, 44, 52};
+
+struct EncoderVariant
+{
+    const char *name;
+    CodecType codec;
+    bool hardware;
+};
+
+constexpr EncoderVariant kVariants[] = {
+    {"sw-h264", CodecType::H264, false},
+    {"vcu-h264", CodecType::H264, true},
+    {"sw-vp9", CodecType::VP9, false},
+    {"vcu-vp9", CodecType::VP9, true},
+};
+
+std::vector<RdPoint>
+rdCurve(const std::vector<Frame> &clip, const EncoderVariant &variant)
+{
+    std::vector<RdPoint> points;
+    for (const int qp : kQps) {
+        EncoderConfig cfg;
+        cfg.codec = variant.codec;
+        cfg.width = clip[0].width();
+        cfg.height = clip[0].height();
+        cfg.fps = 30.0;
+        cfg.rc_mode = RcMode::ConstQp;
+        cfg.base_qp = qp;
+        cfg.gop_length = static_cast<int>(clip.size());
+        cfg.hardware = variant.hardware;
+        cfg.tuning_level = 8; // Fully tuned hardware (Fig. 10 end).
+        const auto chunk = encodeSequence(cfg, clip);
+        const auto decoded = decodeChunkOrDie(chunk.bytes);
+        points.push_back(
+            {chunk.bitrateBps(), sequencePsnr(clip, decoded.frames)});
+    }
+    return points;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto corpus = vbenchCorpus(192, 20);
+
+    // Per-clip RD curves (kbps, dB) for all four encoders.
+    std::vector<std::array<std::vector<RdPoint>, 4>> curves(
+        corpus.size());
+    std::printf("Figure 7: rate-distortion curves "
+                "(bitrate kbps : PSNR dB per qp %d..%d)\n\n",
+                kQps[0], kQps[4]);
+    for (size_t c = 0; c < corpus.size(); ++c) {
+        const auto clip = generateVideo(corpus[c].spec);
+        std::printf("%-13s", corpus[c].name.c_str());
+        for (size_t v = 0; v < 4; ++v) {
+            curves[c][v] = rdCurve(clip, kVariants[v]);
+            std::printf(" | %-8s", kVariants[v].name);
+        }
+        std::printf("\n");
+        for (size_t qi = 0; qi < std::size(kQps); ++qi) {
+            std::printf("  qp=%-2d      ", kQps[qi]);
+            for (size_t v = 0; v < 4; ++v) {
+                std::printf(" | %5.0f:%4.1f",
+                            curves[c][v][qi].bitrate_bps / 1000.0,
+                            curves[c][v][qi].psnr_db);
+            }
+            std::printf("\n");
+        }
+    }
+
+    // BD-rate summary across the suite.
+    auto avg_bd = [&](int test, int anchor) {
+        double acc = 0.0;
+        for (size_t c = 0; c < corpus.size(); ++c) {
+            acc += bdRate(curves[c][static_cast<size_t>(anchor)],
+                          curves[c][static_cast<size_t>(test)]);
+        }
+        return acc / static_cast<double>(corpus.size());
+    };
+
+    std::printf("\nBD-rate summary (negative = fewer bits at equal "
+                "PSNR):\n");
+    std::printf("  vcu-vp9  vs sw-h264 : %+6.1f%%   (paper ~-30%%)\n",
+                avg_bd(3, 0));
+    std::printf("  sw-vp9   vs sw-h264 : %+6.1f%%   (codec-generation "
+                "gain)\n", avg_bd(2, 0));
+    std::printf("  vcu-h264 vs sw-h264 : %+6.1f%%   (paper +11.5%%)\n",
+                avg_bd(1, 0));
+    std::printf("  vcu-vp9  vs sw-vp9  : %+6.1f%%   (paper +18%%)\n",
+                avg_bd(3, 2));
+    std::printf("\nShape checks: easy content (presentation/desktop) "
+                "tops the chart at low rates;\nVP9 curves sit left of "
+                "H.264; the VCU gives up a little compression within "
+                "each codec.\n");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces Figure 8: throughput per VCU measured for production
+ * video transcoding workloads, sampled over five windows. The top
+ * (MOT) line should be higher and nearly flat — cores run close to
+ * capacity — while the SOT line sits ~1.3-1.6x lower because single-
+ * output workers re-decode the input for every rung and strand
+ * decoder capacity on inefficient low-resolution outputs.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+double
+runWindow(ClusterSim &sim, UploadTraffic &traffic)
+{
+    const auto metrics = sim.run(600.0, 1.0, traffic.asArrivalFn());
+    return metrics.mpix_per_vcu;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 8: throughput per VCU on production-mix upload "
+                "workloads [Mpix/s]\n\n");
+    std::printf("%-8s %10s %10s\n", "window", "MOT", "SOT");
+
+    // Saturating production-mix traffic on a 20-VCU pod.
+    auto make_sim = [] {
+        ClusterConfig cfg;
+        cfg.hosts = 1;
+        cfg.vcus_per_host = 20;
+        cfg.seed = 7;
+        return ClusterSim(cfg);
+    };
+    auto make_traffic = [](bool mot) {
+        UploadTrafficConfig cfg;
+        cfg.uploads_per_second = 6.0; // Overload: keeps VCUs busy.
+        cfg.use_mot = mot;
+        cfg.seed = 21;
+        return UploadTraffic(cfg);
+    };
+
+    ClusterSim mot_sim = make_sim();
+    ClusterSim sot_sim = make_sim();
+    UploadTraffic mot_traffic = make_traffic(true);
+    UploadTraffic sot_traffic = make_traffic(false);
+
+    double mot_sum = 0.0;
+    double sot_sum = 0.0;
+    double mot_min = 1e18;
+    double mot_max = 0.0;
+    for (int window = 1; window <= 5; ++window) {
+        const double mot = runWindow(mot_sim, mot_traffic);
+        const double sot = runWindow(sot_sim, sot_traffic);
+        std::printf("%-8d %10.1f %10.1f\n", window, mot, sot);
+        mot_sum += mot;
+        sot_sum += sot;
+        mot_min = std::min(mot_min, mot);
+        mot_max = std::max(mot_max, mot);
+    }
+
+    std::printf("\nmean MOT %.1f, mean SOT %.1f, MOT/SOT ratio %.2fx\n",
+                mot_sum / 5, sot_sum / 5, mot_sum / sot_sum);
+    std::printf("MOT line flatness: max/min = %.3f (paper: visibly "
+                "flat; cores near max capacity)\n",
+                mot_max / mot_min);
+    std::printf("(paper: MOT ~400 Mpix/s, SOT ~250 Mpix/s; our "
+                "substrate lacks the production I/O\n overheads, so "
+                "absolute values run higher - the MOT>SOT shape and "
+                "flatness are the claims)\n");
+    return 0;
+}

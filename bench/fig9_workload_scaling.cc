@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Reproduces Figure 9: post-launch accelerator workload scaling.
+ *
+ *  (a) Primary upload chunked workload: starts 50% on VCU, reaches
+ *      100% in month 7, while fleet capacity and software-stack
+ *      fixes (e.g. NUMA-aware scheduling from month 4) compound to
+ *      ~10x normalized total throughput by month 12.
+ *  (b) Live transcoding on VCU grows ~4x over the year.
+ *  (c) Opportunistic software decoding, enabled after month 6, drops
+ *      hardware decoder utilization from ~98% to ~91% and lifts
+ *      encoder utilization (reduced stranding).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+/** One simulated month of the upload rollout. */
+ClusterMetrics
+uploadMonth(int month, bool live)
+{
+    ClusterConfig cfg;
+    // Fleet ramp: capacity grows as racks land.
+    cfg.hosts = live ? 1 : std::min(8, 1 + (month - 1) * 2 / 3);
+    cfg.vcus_per_host = 8;
+    cfg.seed = 100 + static_cast<uint64_t>(month);
+    cfg.numa_aware = month >= 4; // Post-launch NUMA fix (Section 4.3).
+
+    ClusterSim sim(cfg);
+
+    if (live) {
+        LiveTrafficConfig traffic;
+        // Live adoption ramp: ~4x concurrent streams over the year.
+        traffic.concurrent_streams = 10 + 30 * (month - 1) / 11;
+        traffic.segment_seconds = 2.0;
+        LiveTraffic gen(traffic);
+        return sim.run(900.0, 0.5, gen.asArrivalFn());
+    }
+
+    UploadTrafficConfig traffic;
+    // Demand always exceeds supply (global queue); the VCU share of
+    // the workload ramps 50% -> 100% by month 7.
+    const double vcu_share =
+        std::min(1.0, 0.5 + 0.5 * (month - 1) / 6.0);
+    traffic.uploads_per_second = 4.0 * cfg.hosts * vcu_share;
+    traffic.seed = 31;
+    UploadTraffic gen(traffic);
+    return sim.run(900.0, 0.5, gen.asArrivalFn());
+}
+
+/** One simulated month for the decode-offload co-design (9c). */
+ClusterMetrics
+offloadMonth(int month)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 12;
+    cfg.seed = 500 + static_cast<uint64_t>(month);
+    // The co-design lever: after month 6 the scheduler's resource
+    // mapping shifts some hardware decode to host CPU.
+    cfg.mapping.software_decode_fraction = month > 6 ? 0.12 : 0.0;
+
+    ClusterSim sim(cfg);
+    // Decode-heavy mix: single-output steps re-decode high-res
+    // inputs for every rung (this is what made hardware decode the
+    // bottleneck in production).
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 4.0;
+    traffic.use_mot = false;
+    traffic.seed = 77;
+    UploadTraffic gen(traffic);
+    return sim.run(900.0, 0.5, gen.asArrivalFn());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 9a: primary upload chunked workload "
+                "(normalized total throughput)\n");
+    std::printf("%-7s %8s %10s %12s\n", "month", "hosts", "Mpix/s",
+                "normalized");
+    double base_a = 0.0;
+    for (int month = 1; month <= 12; ++month) {
+        const auto m = uploadMonth(month, /*live=*/false);
+        const double total =
+            m.output_pixels / m.sim_seconds / 1e6;
+        if (month == 1)
+            base_a = total;
+        std::printf("%-7d %8d %10.0f %11.1fx\n", month,
+                    std::min(8, 1 + (month - 1) * 2 / 3), total,
+                    total / base_a);
+    }
+    std::printf("(paper: ~10x by month 12, 100%% on VCU from month "
+                "7)\n\n");
+
+    std::printf("Figure 9b: live transcoding on VCU (normalized)\n");
+    std::printf("%-7s %10s %12s\n", "month", "Mpix/s", "normalized");
+    double base_b = 0.0;
+    for (int month = 1; month <= 12; ++month) {
+        const auto m = uploadMonth(month, /*live=*/true);
+        const double total = m.output_pixels / m.sim_seconds / 1e6;
+        if (month == 1)
+            base_b = total;
+        std::printf("%-7d %10.0f %11.1fx\n", month, total,
+                    total / base_b);
+    }
+    std::printf("(paper: ~4x growth over the year)\n\n");
+
+    std::printf("Figure 9c: opportunistic software decoding "
+                "(enabled after month 6)\n");
+    std::printf("%-7s %12s %12s %10s\n", "month", "dec util",
+                "enc util", "Mpix/VCU");
+    for (int month = 4; month <= 10; ++month) {
+        const auto m = offloadMonth(month);
+        std::printf("%-7d %11.1f%% %11.1f%% %10.1f\n", month,
+                    100.0 * m.decoder_utilization,
+                    100.0 * m.encoder_utilization, m.mpix_per_vcu);
+    }
+    std::printf("(paper: decoder utilization drops ~98%% -> ~91%% "
+                "after enabling the offload,\n reducing encoder-core "
+                "stranding)\n");
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Failure management at warehouse scale (Section 4.4): run the
+ * cluster simulator under fault injection with and without the
+ * paper's mitigations (golden-task screening, abort-on-failure,
+ * integrity checks, capped repair flow) and compare outcomes.
+ */
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+ClusterMetrics
+runScenario(bool mitigated, BlastRadiusTracker *blast_out)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 2;
+    cfg.vcus_per_host = 10;
+    cfg.seed = 2024;
+    cfg.vcu_hard_fault_per_hour = 0.5;
+    cfg.vcu_silent_fault_per_hour = 0.4;
+    cfg.silent_speed_factor = 0.4; // Bad VCUs look fast.
+    cfg.failure.host_fault_threshold = 4;
+    cfg.failure.repair_seconds = 1800.0;
+    cfg.failure.repair_cap = 1;
+    cfg.failure.golden_screening = mitigated;
+    cfg.failure.abort_on_failure = mitigated;
+    cfg.failure.integrity_detect_prob = mitigated ? 0.9 : 0.3;
+
+    ClusterSim sim(cfg);
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 1.2;
+    traffic.seed = 11;
+    UploadTraffic gen(traffic);
+    const auto metrics = sim.run(3600.0, 1.0, gen.asArrivalFn());
+    if (blast_out)
+        *blast_out = sim.blastRadius();
+    return metrics;
+}
+
+void
+report(const char *label, const ClusterMetrics &m,
+       const BlastRadiusTracker &blast)
+{
+    std::printf("%s\n", label);
+    std::printf("  steps completed        %10llu\n",
+                static_cast<unsigned long long>(m.steps_completed));
+    std::printf("  hardware failures      %10llu (retried)\n",
+                static_cast<unsigned long long>(m.steps_failed));
+    std::printf("  corrupt detected       %10llu (reprocessed)\n",
+                static_cast<unsigned long long>(m.corrupt_detected));
+    std::printf("  corrupt escaped        %10llu\n",
+                static_cast<unsigned long long>(m.corrupt_escaped));
+    std::printf("  corrupt videos         %10zu\n",
+                blast.corruptVideos());
+    std::printf("  workers quarantined    %10d\n",
+                m.workers_quarantined);
+    std::printf("  VCUs disabled          %10d\n", m.vcus_disabled);
+    std::printf("  hosts repaired         %10llu\n",
+                static_cast<unsigned long long>(m.hosts_repaired));
+    std::printf("  goodput per VCU        %10.1f Mpix/s\n\n",
+                m.mpix_per_vcu);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("one simulated hour, 20 VCUs, injected hard + silent "
+                "faults\n\n");
+    BlastRadiusTracker blast_bad;
+    const auto unmitigated = runScenario(false, &blast_bad);
+    report("WITHOUT mitigations (black-holing visible):", unmitigated,
+           blast_bad);
+
+    BlastRadiusTracker blast_good;
+    const auto mitigated = runScenario(true, &blast_good);
+    report("WITH golden screening + abort-and-requeue + integrity "
+           "checks:",
+           mitigated, blast_good);
+
+    std::printf("mitigations cut escaped corruption %.0fx while "
+                "keeping goodput.\n",
+                unmitigated.corrupt_escaped /
+                    std::max(1.0,
+                             static_cast<double>(
+                                 mitigated.corrupt_escaped)));
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-title dynamic optimization (Section 2.1 / 4.5): probe each
+ * video's own rate-quality curve and pick the cheapest operating
+ * point that meets the quality bar. Easy content (slides) earns a
+ * far lower bitrate than hard content (noisy crowd scenes) at the
+ * same quality — compute that only became affordable at upload time
+ * once VCUs made encoding ~30x cheaper.
+ */
+
+#include <cstdio>
+
+#include "platform/dynamic_optimizer.h"
+#include "workload/vbench.h"
+
+using namespace wsva::platform;
+using namespace wsva::workload;
+
+int
+main()
+{
+    const double quality_bar_db = 38.0;
+    const auto corpus = vbenchCorpus(160, 12);
+
+    DynamicOptimizerConfig cfg;
+    cfg.hardware = true; // The probes run on VCUs.
+    cfg.probe_qps = {20, 28, 36, 44, 52};
+
+    std::printf("per-title optimization at a %.0f dB quality bar "
+                "(5 probe encodes per title):\n\n", quality_bar_db);
+    std::printf("%-13s %6s %10s %9s\n", "title", "qp", "kbps",
+                "psnr[dB]");
+    double naive_total = 0.0;
+    double optimized_total = 0.0;
+    for (const char *name :
+         {"presentation", "house", "bike", "cricket", "holi"}) {
+        const auto clip =
+            wsva::video::generateVideo(vbenchClip(corpus, name).spec);
+        const auto curve = buildRateQualityCurve(clip, cfg);
+        const auto &chosen = curve.cheapestAtQuality(quality_bar_db);
+        std::printf("%-13s %6d %10.1f %9.2f\n", name, chosen.qp,
+                    chosen.bitrate_bps / 1000.0, chosen.psnr_db);
+        optimized_total += chosen.bitrate_bps;
+        // Naive fixed operating point: one qp for everything (the
+        // most conservative probe that keeps every title above the
+        // bar would be the hardest title's choice).
+        naive_total += curve.points.front().bitrate_bps;
+    }
+    std::printf("\nfixed-qp ladder would spend %.0f kbps total; "
+                "per-title selection spends %.0f kbps (-%.0f%%)\n",
+                naive_total / 1000.0, optimized_total / 1000.0,
+                100.0 * (1.0 - optimized_total / naive_total));
+    return 0;
+}

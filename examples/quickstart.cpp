@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Quickstart: generate a synthetic clip, encode it with both coding
+ * profiles (H.264-like and VP9-like), decode, and report bitrate and
+ * PSNR. Demonstrates the core codec API end to end.
+ */
+
+#include <cstdio>
+
+#include "video/codec/decoder.h"
+#include "video/codec/encoder.h"
+#include "video/metrics.h"
+#include "video/synth.h"
+
+using namespace wsva::video;
+using namespace wsva::video::codec;
+
+int
+main()
+{
+    // 1. Make a 2-second test clip (procedural: no assets needed).
+    SynthSpec spec;
+    spec.width = 320;
+    spec.height = 180;
+    spec.frame_count = 48;
+    spec.fps = 24.0;
+    spec.detail = 2;
+    spec.objects = 3;
+    spec.motion = 2.5;
+    spec.seed = 42;
+    const auto clip = generateVideo(spec);
+    std::printf("source: %dx%d, %d frames @ %.0f fps\n\n", spec.width,
+                spec.height, spec.frame_count, spec.fps);
+
+    std::printf("%-6s %-10s %10s %9s %10s\n", "codec", "impl",
+                "bytes", "kbps", "psnr[dB]");
+    for (const CodecType codec : {CodecType::H264, CodecType::VP9}) {
+        for (const bool hardware : {false, true}) {
+            EncoderConfig cfg;
+            cfg.codec = codec;
+            cfg.width = spec.width;
+            cfg.height = spec.height;
+            cfg.fps = spec.fps;
+            cfg.rc_mode = RcMode::ConstQp;
+            cfg.base_qp = 34;
+            cfg.gop_length = 24;
+            cfg.hardware = hardware;
+
+            // 2. Encode.
+            const EncodedChunk chunk = encodeSequence(cfg, clip);
+
+            // 3. Decode and measure quality against the source.
+            const DecodedChunk decoded = decodeChunkOrDie(chunk.bytes);
+            const double psnr = sequencePsnr(clip, decoded.frames);
+
+            std::printf("%-6s %-10s %10zu %9.1f %10.2f\n",
+                        codecName(codec),
+                        hardware ? "vcu" : "software",
+                        chunk.bytes.size(),
+                        chunk.bitrateBps() / 1000.0, psnr);
+        }
+    }
+    std::printf("\nvp9 spends fewer bits than h264 at the same "
+                "quantizer; the hardware profile trades a little "
+                "compression for pipeline throughput.\n");
+    return 0;
+}

@@ -1,0 +1,328 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+ClusterSim::ClusterSim(ClusterConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed), repairs_(cfg.failure)
+{
+    WSVA_ASSERT(cfg_.hosts > 0 && cfg_.vcus_per_host > 0,
+                "cluster needs hosts and VCUs");
+
+    std::vector<Worker *> all_workers;
+    int worker_id = 0;
+    for (int h = 0; h < cfg_.hosts; ++h) {
+        HostModel host;
+        host.id = h;
+        host.vcu_health.resize(static_cast<size_t>(cfg_.vcus_per_host));
+        for (int v = 0; v < cfg_.vcus_per_host; ++v) {
+            auto worker = std::make_unique<Worker>(
+                worker_id++, WorkerType::Vcu, vcuWorkerCapacity());
+            host.workers.push_back(std::move(worker));
+        }
+        hosts_.push_back(std::move(host));
+    }
+    // Bind after the host vector is stable (no more moves).
+    for (auto &host : hosts_) {
+        for (int v = 0; v < cfg_.vcus_per_host; ++v) {
+            host.workers[static_cast<size_t>(v)]->bindVcu(
+                &host.vcu_health[static_cast<size_t>(v)]);
+            all_workers.push_back(
+                host.workers[static_cast<size_t>(v)].get());
+        }
+    }
+
+    if (cfg_.use_consistent_hashing) {
+        std::vector<int> ids;
+        for (const Worker *w : all_workers)
+            ids.push_back(w->id());
+        ring_ = std::make_unique<ConsistentHashRing>(ids);
+    }
+
+    if (cfg_.use_binpack) {
+        scheduler_ = std::make_unique<BinPackScheduler>(all_workers);
+    } else {
+        ResourceVector slot = cfg_.slot_bundle;
+        if (slot.empty()) {
+            // Default worst-case bundle: a 2160p two-pass MOT.
+            slot = stepResourceNeed(
+                makeMotStep(0, 0, 0, {3840, 2160},
+                            wsva::video::codec::CodecType::VP9),
+                cfg_.mapping);
+        }
+        scheduler_ = std::make_unique<SlotScheduler>(all_workers, slot);
+    }
+}
+
+void
+ClusterSim::submit(const TranscodeStep &step)
+{
+    backlog_.push_back(step);
+}
+
+Worker *
+ClusterSim::workerAt(int host, int vcu)
+{
+    return hosts_[static_cast<size_t>(host)]
+        .workers[static_cast<size_t>(vcu)]
+        .get();
+}
+
+void
+ClusterSim::injectFaults(double now, double dt)
+{
+    (void)now;
+    const double hours = dt / 3600.0;
+    const double p_hard =
+        1.0 - std::exp(-cfg_.vcu_hard_fault_per_hour * hours);
+    const double p_silent =
+        1.0 - std::exp(-cfg_.vcu_silent_fault_per_hour * hours);
+    for (auto &host : hosts_) {
+        if (host.in_repair)
+            continue;
+        for (auto &health : host.vcu_health) {
+            if (health.disabled)
+                continue;
+            if (p_hard > 0 && rng_.bernoulli(p_hard)) {
+                health.disabled = true;
+                ++host.fault_count;
+                ++metrics_.vcus_disabled;
+            }
+            if (!health.silent_fault && p_silent > 0 &&
+                rng_.bernoulli(p_silent)) {
+                health.silent_fault = true;
+                health.speed_factor = cfg_.silent_speed_factor;
+            }
+        }
+    }
+}
+
+void
+ClusterSim::manageRepairs(double now)
+{
+    // Hosts over the fault threshold go to repair (capped).
+    for (auto &host : hosts_) {
+        if (!host.in_repair &&
+            host.fault_count >= cfg_.failure.host_fault_threshold) {
+            if (repairs_.tryEnter(host.id, now)) {
+                host.in_repair = true;
+                // Everything on the host is drained/disabled.
+                for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+                    host.vcu_health[v].disabled = true;
+                    auto aborted =
+                        host.workers[v]->abortAll();
+                    for (auto &step : aborted) {
+                        ++metrics_.steps_retried;
+                        backlog_.push_front(step);
+                    }
+                }
+            }
+        }
+    }
+    for (int host_id : repairs_.collectRepaired(now)) {
+        auto &host = hosts_[static_cast<size_t>(host_id)];
+        host.in_repair = false;
+        host.fault_count = 0;
+        ++metrics_.hosts_repaired;
+        for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+            host.vcu_health[v] = VcuHealth{};
+            host.workers[v]->repairReset();
+        }
+    }
+}
+
+void
+ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
+{
+    for (auto &host : hosts_) {
+        for (size_t v = 0; v < host.workers.size(); ++v) {
+            Worker *w = host.workers[v].get();
+            const int vcu_gid =
+                host.id * cfg_.vcus_per_host + static_cast<int>(v);
+            for (auto &outcome : w->collectFinished(now)) {
+                if (!outcome.ok) {
+                    // Hardware failure: retry at the cluster level;
+                    // with the mitigation the worker aborts all of
+                    // its other in-flight work too.
+                    ++metrics.steps_failed;
+                    ++metrics.steps_retried;
+                    backlog_.push_front(outcome.step);
+                    if (cfg_.failure.abort_on_failure) {
+                        for (auto &step : w->abortAll()) {
+                            ++metrics.steps_retried;
+                            backlog_.push_front(step);
+                        }
+                    }
+                    continue;
+                }
+                if (outcome.corrupt) {
+                    const bool detected = rng_.bernoulli(
+                        cfg_.failure.integrity_detect_prob);
+                    if (detected) {
+                        ++metrics.corrupt_detected;
+                        ++metrics.steps_retried;
+                        blast_.recordDetectedCorruption(
+                            outcome.step.video_id, vcu_gid);
+                        backlog_.push_front(outcome.step);
+                        if (cfg_.failure.abort_on_failure) {
+                            for (auto &step : w->abortAll()) {
+                                ++metrics.steps_retried;
+                                backlog_.push_front(step);
+                            }
+                        }
+                        ++host.fault_count;
+                    } else {
+                        ++metrics.corrupt_escaped;
+                        ++metrics.steps_completed;
+                        metrics.corrupt_pixels +=
+                            outcome.step.outputPixels();
+                        blast_.recordEscapedCorruption(
+                            outcome.step.video_id, vcu_gid);
+                    }
+                    continue;
+                }
+                ++metrics.steps_completed;
+                metrics.output_pixels += outcome.step.outputPixels();
+            }
+        }
+    }
+}
+
+void
+ClusterSim::scheduleBacklog(double now)
+{
+    // Head-of-line scheduling against the availability cache; stop
+    // at the first request nothing can take (it blocks the queue, as
+    // the paper's per-pool FIFO service queue does).
+    size_t deferrals = 0;
+    while (!backlog_.empty() && deferrals <= backlog_.size()) {
+        const TranscodeStep step = backlog_.front();
+        const ResourceVector need = stepResourceNeed(step, cfg_.mapping);
+
+        // Blast-radius reduction: consistent hashing keeps one
+        // video's chunks on a small affinity set. A chunk whose set
+        // is merely *busy* waits (rotates to the back) rather than
+        // spilling; it spills to any worker only when the whole set
+        // is dead (disabled/quarantined).
+        Worker *w = nullptr;
+        if (ring_ != nullptr) {
+            bool set_alive = false;
+            for (int wid : ring_->affinitySet(step.video_id,
+                                              cfg_.affinity_set_size)) {
+                Worker *candidate = workerAt(wid / cfg_.vcus_per_host,
+                                             wid % cfg_.vcus_per_host);
+                const bool dead =
+                    candidate->refused() ||
+                    (candidate->vcu() != nullptr &&
+                     candidate->vcu()->disabled);
+                set_alive |= !dead;
+                if (candidate->canFit(need)) {
+                    w = candidate;
+                    break;
+                }
+            }
+            if (w == nullptr && set_alive) {
+                backlog_.pop_front();
+                backlog_.push_back(step);
+                ++deferrals;
+                continue;
+            }
+        }
+        if (w == nullptr)
+            w = scheduler_->pick(need);
+        if (w == nullptr)
+            break;
+
+        const int gid = w->id();
+
+        // A restarted worker (post-abort) golden-screens its VCU
+        // before taking work; a failed screen quarantines it until
+        // the host is repaired (Section 4.4).
+        if (cfg_.failure.golden_screening && w->needsScreen()) {
+            if (!w->goldenScreen()) {
+                w->setRefused(true);
+                ++metrics_.workers_quarantined;
+                continue; // Re-pick; the worker is now skipped.
+            }
+            w->clearScreen();
+        }
+
+        backlog_.pop_front();
+        double service = stepServiceSeconds(step, cfg_.mapping);
+        if (!cfg_.numa_aware)
+            service *= cfg_.numa_penalty_factor;
+        const ResourceVector reservation =
+            scheduler_->reservationFor(need);
+        w->assign(step, reservation, now, service);
+        blast_.recordChunk(step.video_id, gid);
+    }
+}
+
+ClusterMetrics
+ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
+{
+    WSVA_ASSERT(duration > 0 && dt > 0, "bad run parameters");
+    metrics_ = ClusterMetrics{};
+    enc_util_samples_.reset();
+    dec_util_samples_.reset();
+    cpu_util_samples_.reset();
+
+    const double start = clock_;
+    double now = clock_;
+    while (now < start + duration) {
+        now += dt;
+        clock_ = now;
+        if (arrivals) {
+            for (auto &step : arrivals(now, dt))
+                backlog_.push_back(step);
+        }
+        injectFaults(now, dt);
+        manageRepairs(now);
+        collectCompletions(now, metrics_);
+        scheduleBacklog(now);
+
+        // Utilization sampling across usable workers.
+        double enc = 0;
+        double dec = 0;
+        double cpu = 0;
+        int n = 0;
+        for (auto &host : hosts_) {
+            if (host.in_repair)
+                continue;
+            for (size_t v = 0; v < host.workers.size(); ++v) {
+                if (host.vcu_health[v].disabled)
+                    continue;
+                const Worker *w = host.workers[v].get();
+                enc += w->dimensionUtilization(kResEncodeMillicores);
+                dec += w->dimensionUtilization(kResDecodeMillicores);
+                cpu += w->dimensionUtilization(kResHostCpuMillicores);
+                ++n;
+            }
+        }
+        if (n > 0) {
+            enc_util_samples_.add(enc / n);
+            dec_util_samples_.add(dec / n);
+            cpu_util_samples_.add(cpu / n);
+        }
+    }
+
+    // Final drain of completions right at the horizon.
+    collectCompletions(now, metrics_);
+
+    metrics_.sim_seconds = now - start;
+    metrics_.mpix_per_vcu = metrics_.output_pixels /
+                            (metrics_.sim_seconds * totalVcus()) / 1e6;
+    metrics_.encoder_utilization = enc_util_samples_.mean();
+    metrics_.decoder_utilization = dec_util_samples_.mean();
+    metrics_.host_cpu_utilization = cpu_util_samples_.mean();
+    metrics_.sched_placed = scheduler_->stats().placed;
+    metrics_.sched_rejected = scheduler_->stats().rejected;
+    metrics_.backlog_remaining = backlog_.size();
+    return metrics_;
+}
+
+} // namespace wsva::cluster

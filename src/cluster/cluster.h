@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Cluster-level simulation: hosts with 20 VCUs each, a pool of VCU
+ * workers fed by a work queue through a pluggable scheduler, fault
+ * injection with the paper's failure-management mitigations, and the
+ * dynamic-tuning knobs (software-decode offload, NUMA awareness)
+ * evaluated in Section 4.
+ */
+
+#ifndef WSVA_CLUSTER_CLUSTER_H
+#define WSVA_CLUSTER_CLUSTER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/consistent_hash.h"
+#include "cluster/failure.h"
+#include "cluster/scheduler.h"
+#include "cluster/work.h"
+#include "cluster/worker.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace wsva::cluster {
+
+/** Full cluster configuration. */
+struct ClusterConfig
+{
+    int hosts = 4;
+    int vcus_per_host = 20;
+
+    ResourceMappingPolicy mapping;
+
+    /** true = multi-dimensional bin packing; false = legacy slots. */
+    bool use_binpack = true;
+
+    /** Worst-case slot bundle for the legacy scheduler. */
+    ResourceVector slot_bundle;
+
+    FailurePolicy failure;
+
+    /** Per-VCU fault rates (per hour of simulated time). */
+    double vcu_hard_fault_per_hour = 0.0;
+    double vcu_silent_fault_per_hour = 0.0;
+
+    /** Silently faulty VCUs look *fast* (black-holing). */
+    double silent_speed_factor = 0.4;
+
+    /** NUMA-aware worker placement (Section 4.3: +16-25%). */
+    bool numa_aware = true;
+    double numa_penalty_factor = 1.20;
+
+    /**
+     * Consistent-hash chunk placement (the paper's suggested blast-
+     * radius reduction): chunks of one video prefer a small affinity
+     * set of VCUs, falling back to any fitting worker.
+     */
+    bool use_consistent_hashing = false;
+    size_t affinity_set_size = 3;
+
+    uint64_t seed = 1;
+};
+
+/** Aggregated simulation results. */
+struct ClusterMetrics
+{
+    double sim_seconds = 0.0;
+
+    uint64_t steps_completed = 0;
+    uint64_t steps_failed = 0;   //!< Hardware failure, retried.
+    uint64_t steps_retried = 0;
+    uint64_t corrupt_detected = 0;
+    uint64_t corrupt_escaped = 0;
+
+    double output_pixels = 0.0;  //!< Good (non-corrupt) pixels.
+    double corrupt_pixels = 0.0;
+
+    /** Good output throughput per *provisioned* VCU, Mpix/s. */
+    double mpix_per_vcu = 0.0;
+
+    /** Time-weighted average utilizations across active workers. */
+    double encoder_utilization = 0.0;
+    double decoder_utilization = 0.0;
+    double host_cpu_utilization = 0.0;
+
+    uint64_t sched_placed = 0;
+    uint64_t sched_rejected = 0;
+    size_t backlog_remaining = 0;
+    uint64_t hosts_repaired = 0;
+    int vcus_disabled = 0;
+    int workers_quarantined = 0;
+};
+
+/** One host: 20 VCUs, each with exclusive worker + health state. */
+struct HostModel
+{
+    int id = 0;
+    bool in_repair = false;
+    int fault_count = 0;
+    std::vector<VcuHealth> vcu_health;
+    std::vector<std::unique_ptr<Worker>> workers;
+};
+
+/** Arrival callback: steps arriving in (now - dt, now]. */
+using ArrivalFn =
+    std::function<std::vector<TranscodeStep>(double now, double dt)>;
+
+/** The cluster simulator. */
+class ClusterSim
+{
+  public:
+    explicit ClusterSim(ClusterConfig cfg);
+
+    /** Enqueue a step directly (tests / simple drivers). */
+    void submit(const TranscodeStep &step);
+
+    /**
+     * Run for @p duration simulated seconds with tick @p dt, pulling
+     * arrivals from @p arrivals (may be null).
+     */
+    ClusterMetrics run(double duration, double dt,
+                       const ArrivalFn &arrivals = nullptr);
+
+    /** Blast-radius data collected during run(). */
+    const BlastRadiusTracker &blastRadius() const { return blast_; }
+
+    /** Total provisioned VCUs. */
+    int totalVcus() const { return cfg_.hosts * cfg_.vcus_per_host; }
+
+  private:
+    void injectFaults(double now, double dt);
+    void manageRepairs(double now);
+    void collectCompletions(double now, ClusterMetrics &metrics);
+    void scheduleBacklog(double now);
+    Worker *workerAt(int host, int vcu);
+
+    ClusterConfig cfg_;
+    wsva::Rng rng_;
+    double clock_ = 0.0; //!< Continuous across run() calls.
+    std::vector<HostModel> hosts_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<ConsistentHashRing> ring_;
+    std::deque<TranscodeStep> backlog_;
+    RepairQueue repairs_;
+    BlastRadiusTracker blast_;
+
+    // Time-weighted utilization accumulators.
+    wsva::RunningStat enc_util_samples_;
+    wsva::RunningStat dec_util_samples_;
+    wsva::RunningStat cpu_util_samples_;
+
+    ClusterMetrics metrics_;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_CLUSTER_H

@@ -1,0 +1,77 @@
+#include "cluster/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+uint64_t
+ConsistentHashRing::mix(uint64_t value)
+{
+    // splitmix64 finalizer: uniform ring positions from small ints.
+    value += 0x9e3779b97f4a7c15ULL;
+    value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    value = (value ^ (value >> 27)) * 0x94d049bb133111ebULL;
+    return value ^ (value >> 31);
+}
+
+ConsistentHashRing::ConsistentHashRing(const std::vector<int> &worker_ids,
+                                       int virtual_nodes)
+    : virtual_nodes_(virtual_nodes)
+{
+    WSVA_ASSERT(virtual_nodes >= 1, "need at least one virtual node");
+    for (int id : worker_ids)
+        addWorker(id);
+}
+
+void
+ConsistentHashRing::addWorker(int worker_id)
+{
+    for (int v = 0; v < virtual_nodes_; ++v) {
+        const uint64_t pos =
+            mix((static_cast<uint64_t>(static_cast<uint32_t>(worker_id))
+                 << 20) ^ static_cast<uint64_t>(v));
+        ring_[pos] = worker_id;
+    }
+    ++workers_;
+}
+
+void
+ConsistentHashRing::removeWorker(int worker_id)
+{
+    bool removed = false;
+    for (auto it = ring_.begin(); it != ring_.end();) {
+        if (it->second == worker_id) {
+            it = ring_.erase(it);
+            removed = true;
+        } else {
+            ++it;
+        }
+    }
+    if (removed)
+        --workers_;
+}
+
+std::vector<int>
+ConsistentHashRing::affinitySet(uint64_t key, size_t count) const
+{
+    std::vector<int> result;
+    if (ring_.empty())
+        return result;
+    count = std::min(count, workers_);
+
+    auto it = ring_.lower_bound(mix(key));
+    while (result.size() < count) {
+        if (it == ring_.end())
+            it = ring_.begin();
+        if (std::find(result.begin(), result.end(), it->second) ==
+            result.end()) {
+            result.push_back(it->second);
+        }
+        ++it;
+    }
+    return result;
+}
+
+} // namespace wsva::cluster

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Consistent-hash placement for blast-radius reduction.
+ *
+ * Section 4.4: videos are chunked across hundreds of VCUs, so one
+ * silently corrupting VCU touches many videos. "A future enhancement
+ * would be to use consistent hashing to reduce the number of VCUs on
+ * which a given video is processed." This module implements that
+ * enhancement: a hash ring over workers with virtual nodes; each
+ * video hashes to a small affinity set of workers, and the scheduler
+ * prefers (but is not required) to place the video's chunks there.
+ */
+
+#ifndef WSVA_CLUSTER_CONSISTENT_HASH_H
+#define WSVA_CLUSTER_CONSISTENT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace wsva::cluster {
+
+/** Hash ring mapping 64-bit keys to worker ids. */
+class ConsistentHashRing
+{
+  public:
+    /**
+     * @param worker_ids Workers on the ring.
+     * @param virtual_nodes Ring points per worker (smooths load).
+     */
+    explicit ConsistentHashRing(const std::vector<int> &worker_ids,
+                                int virtual_nodes = 32);
+
+    /**
+     * The affinity set for @p key: the first @p count distinct
+     * workers clockwise from the key's ring position.
+     */
+    std::vector<int> affinitySet(uint64_t key, size_t count) const;
+
+    /** Remove a worker (failed/disabled); its keys spill over. */
+    void removeWorker(int worker_id);
+
+    /** Add a worker (repair completed). */
+    void addWorker(int worker_id);
+
+    size_t workerCount() const { return workers_; }
+
+  private:
+    static uint64_t mix(uint64_t value);
+
+    std::map<uint64_t, int> ring_; //!< ring position -> worker id.
+    int virtual_nodes_;
+    size_t workers_ = 0;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_CONSISTENT_HASH_H

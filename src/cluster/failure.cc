@@ -1,0 +1,88 @@
+#include "cluster/failure.h"
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+bool
+RepairQueue::tryEnter(int host_id, double now)
+{
+    if (contains(host_id))
+        return true;
+    if (repairing_.size() >=
+        static_cast<size_t>(policy_.repair_cap)) {
+        ++cap_deferrals_;
+        return false;
+    }
+    repairing_[host_id] = now + policy_.repair_seconds;
+    ++total_repairs_;
+    return true;
+}
+
+std::vector<int>
+RepairQueue::collectRepaired(double now)
+{
+    std::vector<int> done;
+    for (auto it = repairing_.begin(); it != repairing_.end();) {
+        if (it->second <= now) {
+            done.push_back(it->first);
+            it = repairing_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return done;
+}
+
+bool
+RepairQueue::contains(int host_id) const
+{
+    return repairing_.count(host_id) > 0;
+}
+
+void
+BlastRadiusTracker::recordChunk(uint64_t video_id, int vcu_global_id)
+{
+    video_vcus_[video_id].insert(vcu_global_id);
+}
+
+void
+BlastRadiusTracker::recordDetectedCorruption(uint64_t video_id,
+                                             int vcu_global_id)
+{
+    ++detected_;
+    ++vcu_detections_[vcu_global_id];
+    (void)video_id; // Detected chunks are reprocessed, video stays OK.
+}
+
+void
+BlastRadiusTracker::recordEscapedCorruption(uint64_t video_id,
+                                            int vcu_global_id)
+{
+    ++escaped_;
+    corrupt_videos_.insert(video_id);
+    (void)vcu_global_id;
+}
+
+size_t
+BlastRadiusTracker::vcusTouching(uint64_t video_id) const
+{
+    auto it = video_vcus_.find(video_id);
+    return it == video_vcus_.end() ? 0 : it->second.size();
+}
+
+int
+BlastRadiusTracker::mostSuspectVcu() const
+{
+    int best = -1;
+    uint64_t best_count = 0;
+    for (const auto &[vcu, count] : vcu_detections_) {
+        if (count > best_count) {
+            best = vcu;
+            best_count = count;
+        }
+    }
+    return best;
+}
+
+} // namespace wsva::cluster

@@ -1,0 +1,180 @@
+#include "cluster/pools.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+std::string
+poolName(PoolKey key)
+{
+    const char *use =
+        key.use_case == UseCase::Upload ? "upload" : "live";
+    const char *prio = key.priority == Priority::Critical ? "critical"
+                       : key.priority == Priority::Normal ? "normal"
+                                                          : "batch";
+    return std::string(use) + "/" + prio;
+}
+
+int
+Pool::schedule(double now, const ResourceMappingPolicy &policy)
+{
+    int placed = 0;
+    while (!backlog_.empty()) {
+        const TranscodeStep step = backlog_.front();
+        const ResourceVector need = stepResourceNeed(step, policy);
+        Worker *chosen = nullptr;
+        for (Worker *w : workers_) {
+            if (w->canFit(need)) {
+                chosen = w;
+                break;
+            }
+        }
+        if (chosen == nullptr)
+            break;
+        backlog_.pop_front();
+        chosen->assign(step, need, now, stepServiceSeconds(step, policy));
+        ++placed;
+    }
+    return placed;
+}
+
+double
+Pool::pressure() const
+{
+    // Queued steps per worker held; an empty pool with work has
+    // infinite pressure, an idle pool zero.
+    if (backlog_.empty())
+        return 0.0;
+    if (workers_.empty())
+        return 1e18;
+    return static_cast<double>(backlog_.size()) /
+           static_cast<double>(workers_.size());
+}
+
+void
+Pool::grantWorker(Worker *worker)
+{
+    WSVA_ASSERT(worker != nullptr, "granting null worker");
+    workers_.push_back(worker);
+    std::sort(workers_.begin(), workers_.end(),
+              [](const Worker *a, const Worker *b) {
+                  return a->id() < b->id();
+              });
+}
+
+Worker *
+Pool::releaseIdleWorker()
+{
+    // Prefer the highest-numbered idle worker: the first-fit picker
+    // packs low numbers first, so trailing workers idle first.
+    for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+        if ((*it)->idle()) {
+            Worker *w = *it;
+            workers_.erase(std::next(it).base());
+            return w;
+        }
+    }
+    return nullptr;
+}
+
+PoolManager::PoolManager(std::vector<Worker *> workers,
+                         std::vector<PoolKey> keys)
+{
+    WSVA_ASSERT(!keys.empty(), "need at least one pool");
+    for (const auto &key : keys)
+        pools_.emplace_back(key);
+    for (size_t i = 0; i < workers.size(); ++i)
+        pools_[i % pools_.size()].grantWorker(workers[i]);
+}
+
+void
+PoolManager::submit(const TranscodeStep &step)
+{
+    Pool *p = pool({step.use_case, step.priority});
+    WSVA_ASSERT(p != nullptr, "no pool for step %lu",
+                static_cast<unsigned long>(step.id));
+    p->submit(step);
+}
+
+int
+PoolManager::scheduleAll(double now, const ResourceMappingPolicy &policy)
+{
+    // Critical pools schedule first.
+    std::vector<Pool *> order;
+    for (auto &p : pools_)
+        order.push_back(&p);
+    std::sort(order.begin(), order.end(), [](Pool *a, Pool *b) {
+        return static_cast<int>(a->key().priority) <
+               static_cast<int>(b->key().priority);
+    });
+    int placed = 0;
+    for (Pool *p : order)
+        placed += p->schedule(now, policy);
+    return placed;
+}
+
+int
+PoolManager::rebalance()
+{
+    int moved = 0;
+    for (;;) {
+        // Highest-pressure pool that has queued work.
+        Pool *needy = nullptr;
+        for (auto &p : pools_) {
+            if (p.backlogSize() == 0)
+                continue;
+            if (needy == nullptr || p.pressure() > needy->pressure() ||
+                (p.pressure() == needy->pressure() &&
+                 static_cast<int>(p.key().priority) <
+                     static_cast<int>(needy->key().priority))) {
+                needy = &p;
+            }
+        }
+        if (needy == nullptr)
+            break;
+
+        // Donor: the lowest-pressure other pool with an idle worker.
+        Pool *donor = nullptr;
+        for (auto &p : pools_) {
+            if (&p == needy)
+                continue;
+            if (p.pressure() >= needy->pressure())
+                continue;
+            if (donor == nullptr || p.pressure() < donor->pressure())
+                donor = &p;
+        }
+        if (donor == nullptr)
+            break;
+        Worker *w = donor->releaseIdleWorker();
+        if (w == nullptr) {
+            // The donor's workers are all busy; nothing to move now.
+            break;
+        }
+        needy->grantWorker(w);
+        ++moved;
+    }
+    return moved;
+}
+
+Pool *
+PoolManager::pool(PoolKey key)
+{
+    for (auto &p : pools_) {
+        if (p.key() == key)
+            return &p;
+    }
+    return nullptr;
+}
+
+size_t
+PoolManager::totalBacklog() const
+{
+    size_t total = 0;
+    for (const auto &p : pools_)
+        total += p.backlogSize();
+    return total;
+}
+
+} // namespace wsva::cluster

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Logical compute pools (Section 3.3.3): "Each cluster has multiple
+ * logical 'pools' of computing defined by use case (upload, live)
+ * and priority (critical, normal, batch) that trade-off resources
+ * based on each pool's demand. Each pool has its own scheduler and
+ * multiple workers... This causes workers to become idle when
+ * pool-level usage drops, at which point they may be stopped and
+ * reallocated to other pools in the cluster, maximizing cluster-wide
+ * VCU utilization."
+ *
+ * The PoolManager owns the worker-to-pool assignment: each pool runs
+ * its own first-fit bin-packing pick over the workers it currently
+ * holds, and a rebalance step moves fully idle workers from
+ * low-pressure pools to high-pressure ones (priority breaking ties).
+ */
+
+#ifndef WSVA_CLUSTER_POOLS_H
+#define WSVA_CLUSTER_POOLS_H
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "cluster/work.h"
+#include "cluster/worker.h"
+
+namespace wsva::cluster {
+
+/** Identity of a pool. */
+struct PoolKey
+{
+    UseCase use_case = UseCase::Upload;
+    Priority priority = Priority::Normal;
+
+    bool operator==(const PoolKey &other) const = default;
+};
+
+/** Human-readable pool name ("upload/normal"). */
+std::string poolName(PoolKey key);
+
+/** One logical pool: backlog + the workers currently assigned. */
+class Pool
+{
+  public:
+    explicit Pool(PoolKey key) : key_(key) {}
+
+    PoolKey key() const { return key_; }
+
+    /** Enqueue a step (FIFO service queue). */
+    void submit(const TranscodeStep &step) { backlog_.push_back(step); }
+
+    /**
+     * Schedule as much of the backlog as fits onto this pool's
+     * workers (first fit by worker number, head-of-line order).
+     * @return Steps placed.
+     */
+    int schedule(double now, const ResourceMappingPolicy &policy);
+
+    /** Demand pressure: queued work vs workers held. */
+    double pressure() const;
+
+    size_t backlogSize() const { return backlog_.size(); }
+    size_t workerCount() const { return workers_.size(); }
+
+    /** Workers are granted/revoked by the PoolManager. */
+    void grantWorker(Worker *worker);
+
+    /**
+     * Release one fully idle worker (nullptr if none). Busy workers
+     * are never revoked — the paper stops *idle* workers.
+     */
+    Worker *releaseIdleWorker();
+
+    const std::vector<Worker *> &workers() const { return workers_; }
+
+  private:
+    PoolKey key_;
+    std::vector<Worker *> workers_;
+    std::deque<TranscodeStep> backlog_;
+};
+
+/** Owns pools and the worker-to-pool assignment. */
+class PoolManager
+{
+  public:
+    /**
+     * @param workers The cluster's workers, initially distributed
+     *        round-robin across @p keys.
+     */
+    PoolManager(std::vector<Worker *> workers,
+                std::vector<PoolKey> keys);
+
+    /** Route a step to its (use case, priority) pool. */
+    void submit(const TranscodeStep &step);
+
+    /** Schedule all pools; returns total placements. */
+    int scheduleAll(double now, const ResourceMappingPolicy &policy);
+
+    /**
+     * Move idle workers from over-provisioned pools toward pools
+     * with higher pressure (critical > normal > batch when tied).
+     * @return Workers moved.
+     */
+    int rebalance();
+
+    Pool *pool(PoolKey key);
+    const std::vector<Pool> &pools() const { return pools_; }
+
+    /** Total backlog across pools. */
+    size_t totalBacklog() const;
+
+  private:
+    std::vector<Pool> pools_;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_POOLS_H

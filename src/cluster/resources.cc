@@ -1,0 +1,68 @@
+#include "cluster/resources.h"
+
+#include <algorithm>
+
+namespace wsva::cluster {
+
+double
+ResourceVector::get(const std::string &name) const
+{
+    auto it = dims_.find(name);
+    return it == dims_.end() ? 0.0 : it->second;
+}
+
+void
+ResourceVector::set(const std::string &name, double amount)
+{
+    if (amount == 0.0)
+        dims_.erase(name);
+    else
+        dims_[name] = amount;
+}
+
+void
+ResourceVector::add(const ResourceVector &other)
+{
+    for (const auto &[name, amount] : other.dims_)
+        set(name, get(name) + amount);
+}
+
+void
+ResourceVector::subtract(const ResourceVector &other)
+{
+    for (const auto &[name, amount] : other.dims_)
+        set(name, get(name) - amount);
+}
+
+bool
+ResourceVector::fits(const ResourceVector &need) const
+{
+    for (const auto &[name, amount] : need.dims_) {
+        if (amount > get(name) + 1e-9)
+            return false;
+    }
+    return true;
+}
+
+bool
+ResourceVector::nonNegative() const
+{
+    for (const auto &[name, amount] : dims_) {
+        if (amount < -1e-9)
+            return false;
+    }
+    return true;
+}
+
+double
+ResourceVector::maxUtilizationVs(const ResourceVector &capacity) const
+{
+    double worst = 0.0;
+    for (const auto &[name, cap] : capacity.dims_) {
+        if (cap > 0.0)
+            worst = std::max(worst, get(name) / cap);
+    }
+    return worst;
+}
+
+} // namespace wsva::cluster

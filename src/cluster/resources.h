@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Named scalar resource vectors (Section 3.3.3).
+ *
+ * Each worker type defines its own set of named scalar resource
+ * dimensions and a capacity for each — e.g. a VCU worker exposes
+ * fractional decode and encode cores (in millicores to avoid
+ * fractions), DRAM bytes, fractional host CPU, and *synthetic*
+ * resources such as a software-decode allowance used to indirectly
+ * bound PCIe bandwidth.
+ */
+
+#ifndef WSVA_CLUSTER_RESOURCES_H
+#define WSVA_CLUSTER_RESOURCES_H
+
+#include <map>
+#include <string>
+
+namespace wsva::cluster {
+
+/** Canonical dimension names used by the VCU worker type. */
+inline constexpr const char *kResDecodeMillicores = "dec_millicores";
+inline constexpr const char *kResEncodeMillicores = "enc_millicores";
+inline constexpr const char *kResDramBytes = "dram_bytes";
+inline constexpr const char *kResHostCpuMillicores = "host_cpu_millicores";
+/** Synthetic: software-decode allowance (bounds PCIe indirectly). */
+inline constexpr const char *kResSwDecodeMillicores = "sw_dec_millicores";
+
+/** A sparse vector of named scalar resources. */
+class ResourceVector
+{
+  public:
+    ResourceVector() = default;
+    ResourceVector(std::initializer_list<std::pair<const std::string,
+                                                   double>> init)
+        : dims_(init) {}
+
+    /** Amount for a dimension (0 when absent). */
+    double get(const std::string &name) const;
+
+    /** Set a dimension (erases it when amount == 0). */
+    void set(const std::string &name, double amount);
+
+    /** this += other. */
+    void add(const ResourceVector &other);
+
+    /** this -= other (may go negative; callers check fits() first). */
+    void subtract(const ResourceVector &other);
+
+    /**
+     * True if @p need fits inside this vector: every dimension of
+     * @p need is <= the amount here. Dimensions this vector does not
+     * define are treated as zero capacity.
+     */
+    bool fits(const ResourceVector &need) const;
+
+    /** True if all dimensions are >= 0 (sanity checks). */
+    bool nonNegative() const;
+
+    /** Fraction of @p capacity in use across its busiest dimension. */
+    double maxUtilizationVs(const ResourceVector &capacity) const;
+
+    bool empty() const { return dims_.empty(); }
+    const std::map<std::string, double> &dims() const { return dims_; }
+
+    bool operator==(const ResourceVector &other) const = default;
+
+  private:
+    std::map<std::string, double> dims_;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_RESOURCES_H

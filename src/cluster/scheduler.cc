@@ -1,0 +1,94 @@
+#include "cluster/scheduler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+ResourceVector
+Scheduler::reservationFor(const ResourceVector &need) const
+{
+    return need;
+}
+
+BinPackScheduler::BinPackScheduler(std::vector<Worker *> workers)
+    : workers_(std::move(workers))
+{
+    std::sort(workers_.begin(), workers_.end(),
+              [](const Worker *a, const Worker *b) {
+                  return a->id() < b->id();
+              });
+}
+
+Worker *
+BinPackScheduler::pick(const ResourceVector &need)
+{
+    // First fit by worker number against the availability cache
+    // (Figure 6: Worker 0 lacks decode resources -> Worker 1 takes
+    // the request; fully idle trailing workers become stop
+    // candidates).
+    for (Worker *w : workers_) {
+        if (w->canFit(need)) {
+            ++stats_.placed;
+            return w;
+        }
+    }
+    ++stats_.rejected;
+    return nullptr;
+}
+
+int
+BinPackScheduler::idleWorkers() const
+{
+    int idle = 0;
+    for (const Worker *w : workers_)
+        idle += w->idle();
+    return idle;
+}
+
+SlotScheduler::SlotScheduler(std::vector<Worker *> workers,
+                             ResourceVector slot_need)
+    : workers_(std::move(workers)), slot_need_(std::move(slot_need))
+{
+    std::sort(workers_.begin(), workers_.end(),
+              [](const Worker *a, const Worker *b) {
+                  return a->id() < b->id();
+              });
+}
+
+Worker *
+SlotScheduler::pick(const ResourceVector &need)
+{
+    // The uniform cost model ignores the request's actual shape; it
+    // only asks "is a slot free". The physical reservation is the
+    // element-wise max of the slot bundle and the true request
+    // (oversized steps still consume what they consume), so that is
+    // what must fit — this is exactly the stranding the bin-packing
+    // scheduler eliminates.
+    const ResourceVector reservation = reservationFor(need);
+    for (Worker *w : workers_) {
+        if (w->canFit(reservation)) {
+            ++stats_.placed;
+            return w;
+        }
+    }
+    ++stats_.rejected;
+    return nullptr;
+}
+
+ResourceVector
+SlotScheduler::reservationFor(const ResourceVector &need) const
+{
+    // Element-wise max of the slot bundle and the true request: a
+    // big step still physically consumes what it consumes, and the
+    // slot accounting wastes the rest.
+    ResourceVector reservation = slot_need_;
+    for (const auto &[name, amount] : need.dims()) {
+        if (amount > reservation.get(name))
+            reservation.set(name, amount);
+    }
+    return reservation;
+}
+
+} // namespace wsva::cluster

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Work schedulers (Section 3.3.3, Figure 6).
+ *
+ * The paper moved the video processing platform from a uniform CPU
+ * cost model ("single slot per graph step") to an online multi-
+ * dimensional bin-packing scheduler with a sharded in-memory
+ * availability cache and a first-fit worker picker. Both schedulers
+ * are implemented here so the ablation bench can compare them.
+ */
+
+#ifndef WSVA_CLUSTER_SCHEDULER_H
+#define WSVA_CLUSTER_SCHEDULER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/worker.h"
+
+namespace wsva::cluster {
+
+/** Scheduling statistics. */
+struct SchedulerStats
+{
+    uint64_t placed = 0;
+    uint64_t rejected = 0; //!< No worker could take the request.
+};
+
+/** Common picker interface. */
+class Scheduler
+{
+  public:
+    virtual ~Scheduler() = default;
+
+    /**
+     * Pick a worker for a step needing @p need. Returns nullptr when
+     * nothing fits (caller re-queues).
+     */
+    virtual Worker *pick(const ResourceVector &need) = 0;
+
+    /**
+     * The resources actually reserved on the worker for a request of
+     * @p need: the request itself for the bin-packing scheduler, the
+     * (element-wise max with the) fixed slot bundle for the legacy
+     * scheduler.
+     */
+    virtual ResourceVector reservationFor(const ResourceVector &need) const;
+
+    const SchedulerStats &stats() const { return stats_; }
+
+  protected:
+    SchedulerStats stats_;
+};
+
+/**
+ * Multi-dimensional bin-packing scheduler: maintains an availability
+ * cache of all workers and their current capacity across all
+ * dimensions, and places work first-fit by worker number (Figure 6).
+ * The load-maximizing greedy policy concentrates work so that
+ * trailing workers go fully idle and can be stopped and reallocated
+ * to other pools.
+ */
+class BinPackScheduler : public Scheduler
+{
+  public:
+    explicit BinPackScheduler(std::vector<Worker *> workers);
+
+    Worker *pick(const ResourceVector &need) override;
+
+    /** Workers currently fully idle (candidates to stop). */
+    int idleWorkers() const;
+
+  private:
+    std::vector<Worker *> workers_;
+};
+
+/**
+ * Legacy one-dimensional slot scheduler: each worker advertises a
+ * fixed number of slots sized for the configured worst-case step;
+ * every step consumes one slot regardless of its actual size.
+ */
+class SlotScheduler : public Scheduler
+{
+  public:
+    /**
+     * @param slot_need The fixed per-slot resource bundle (worst-case
+     *        step sizing under the uniform cost model).
+     */
+    SlotScheduler(std::vector<Worker *> workers, ResourceVector slot_need);
+
+    Worker *pick(const ResourceVector &need) override;
+    ResourceVector reservationFor(const ResourceVector &need) const override;
+
+    const ResourceVector &slotNeed() const { return slot_need_; }
+
+  private:
+    std::vector<Worker *> workers_;
+    ResourceVector slot_need_;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_SCHEDULER_H

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Units of transcoding work as the platform schedules them: chunked
+ * steps of an acyclic dependency graph, in SOT or MOT shape
+ * (Section 2.1, Figure 2), plus the mapping from a step request to
+ * the named resources it needs on a worker (Section 3.3.3).
+ */
+
+#ifndef WSVA_CLUSTER_WORK_H
+#define WSVA_CLUSTER_WORK_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "video/codec/codec.h"
+#include "video/scaler.h"
+
+namespace wsva::cluster {
+
+/** Use-case pools (Section 3.3.3). */
+enum class UseCase : int {
+    Upload = 0,
+    Live = 1,
+};
+
+/** Priority bands within a pool. */
+enum class Priority : int {
+    Critical = 0,
+    Normal = 1,
+    Batch = 2,
+};
+
+/** One schedulable transcoding step (a chunk of one video). */
+struct TranscodeStep
+{
+    uint64_t id = 0;
+    uint64_t video_id = 0;
+    int chunk_index = 0;
+
+    wsva::video::Resolution input{1920, 1080};
+    std::vector<wsva::video::Resolution> outputs; //!< >1 => MOT.
+    wsva::video::codec::CodecType codec =
+        wsva::video::codec::CodecType::VP9;
+    double fps = 30.0;
+    int frames = 150; //!< Chunk length (e.g. 5 s at 30 FPS).
+    bool two_pass = true;
+
+    UseCase use_case = UseCase::Upload;
+    Priority priority = Priority::Normal;
+
+    /** Multiple-output transcode? */
+    bool isMot() const { return outputs.size() > 1; }
+
+    /** Total output pixels (the Mpix/s accounting unit). */
+    double outputPixels() const;
+
+    /** Input pixels decoded. */
+    double inputPixels() const;
+
+    /** Chunk duration in video seconds. */
+    double durationSeconds() const { return frames / fps; }
+};
+
+/** Build the standard MOT step for an input resolution. */
+TranscodeStep makeMotStep(uint64_t id, uint64_t video_id, int chunk_index,
+                          wsva::video::Resolution input,
+                          wsva::video::codec::CodecType codec);
+
+/** Build one SOT step (single output rung). */
+TranscodeStep makeSotStep(uint64_t id, uint64_t video_id, int chunk_index,
+                          wsva::video::Resolution input,
+                          wsva::video::Resolution output,
+                          wsva::video::codec::CodecType codec);
+
+/**
+ * Policy knobs for the request -> resources mapping. The mapping
+ * "admits different resource costs for dynamic tuning" (Section
+ * 3.3.3); these knobs replay the paper's post-launch changes.
+ */
+struct ResourceMappingPolicy
+{
+    /** Shift this fraction of decode work to host CPU (Fig. 9c). */
+    double software_decode_fraction = 0.0;
+
+    /**
+     * Effective encoder-core pixel rate (pixels/s) at production
+     * upload quality settings, single pass. The 2160p60 peak is
+     * ~500 Mpix/s per core (Section 3.3.1), but offline-quality
+     * tools run the core at ~103 Mpix/s; with the 1.35x two-pass
+     * overhead this yields ~76 Mpix/s per core = ~765 Mpix/s per
+     * VCU, matching Table 1's 20xVCU VP9 throughput.
+     */
+    double encoder_core_pixel_rate = 103e6;
+
+    /**
+     * Effective decoder-core pixel rate (pixels/s) including
+     * container handling. With 3 decode cores against 10 encode
+     * cores this makes full-ladder SOT workloads decode-bound (each
+     * rung re-decodes the input), reproducing the paper's MOT-vs-SOT
+     * gap and the ~98% production decoder utilization that motivated
+     * the software-decode offload of Figure 9c.
+     */
+    double decoder_core_pixel_rate = 0.75e9;
+
+    /**
+     * Speed-up factor the step is sized for (>= 1 = faster than real
+     * time for batch work). Automatically clamped per step so no
+     * request exceeds a single VCU in any dimension.
+     */
+    double allocation_speedup = 2.0;
+};
+
+/**
+ * The speedup a step actually gets: the policy's allocation speedup
+ * clamped so that the resulting request fits a single VCU's decode
+ * and encode capacity with headroom.
+ */
+double effectiveSpeedup(const TranscodeStep &step,
+                        const ResourceMappingPolicy &policy);
+
+/** Resource need of a step on a VCU worker under @p policy. */
+ResourceVector stepResourceNeed(const TranscodeStep &step,
+                                const ResourceMappingPolicy &policy);
+
+/** Wall-clock service seconds of a step given its allocation. */
+double stepServiceSeconds(const TranscodeStep &step,
+                          const ResourceMappingPolicy &policy);
+
+/** Device-DRAM footprint of a step in bytes (Appendix A.4). */
+uint64_t stepDramFootprint(const TranscodeStep &step);
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_WORK_H

@@ -1,0 +1,125 @@
+#include "cluster/worker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+Worker::Worker(int id, WorkerType type, ResourceVector capacity)
+    : id_(id), type_(type), capacity_(std::move(capacity)),
+      available_(capacity_)
+{
+}
+
+bool
+Worker::goldenScreen() const
+{
+    if (vcu_ == nullptr)
+        return true; // CPU workers have nothing to screen.
+    return !vcu_->disabled && !vcu_->silent_fault;
+}
+
+bool
+Worker::canFit(const ResourceVector &need) const
+{
+    if (refused_)
+        return false;
+    if (vcu_ != nullptr && vcu_->disabled)
+        return false;
+    return available_.fits(need);
+}
+
+void
+Worker::assign(const TranscodeStep &step, const ResourceVector &need,
+               double now, double service_seconds)
+{
+    WSVA_ASSERT(canFit(need), "assigning step %lu beyond capacity",
+                static_cast<unsigned long>(step.id));
+    double factor = 1.0;
+    if (vcu_ != nullptr)
+        factor = vcu_->speed_factor;
+    available_.subtract(need);
+    WSVA_ASSERT(available_.nonNegative(), "negative availability");
+    running_.push_back({step, need, now + service_seconds * factor});
+}
+
+std::vector<StepOutcome>
+Worker::collectFinished(double now)
+{
+    std::vector<StepOutcome> out;
+    const bool dead = vcu_ != nullptr && vcu_->disabled;
+    const bool corrupting = vcu_ != nullptr && vcu_->silent_fault;
+    for (auto it = running_.begin(); it != running_.end();) {
+        const bool finished = it->finish_time <= now;
+        if (finished || dead) {
+            StepOutcome outcome;
+            outcome.step = it->step;
+            outcome.ok = !dead;
+            outcome.corrupt = corrupting && !dead;
+            outcome.finish_time = dead ? now : it->finish_time;
+            out.push_back(outcome);
+            available_.add(it->need);
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return out;
+}
+
+std::vector<TranscodeStep>
+Worker::abortAll()
+{
+    std::vector<TranscodeStep> aborted;
+    for (const auto &r : running_) {
+        aborted.push_back(r.step);
+        available_.add(r.need);
+    }
+    running_.clear();
+    needs_screen_ = true;
+    return aborted;
+}
+
+void
+Worker::repairReset()
+{
+    WSVA_ASSERT(running_.empty(), "repair reset with work in flight");
+    available_ = capacity_;
+    needs_screen_ = false;
+    refused_ = false;
+}
+
+double
+Worker::utilization() const
+{
+    ResourceVector used = capacity_;
+    used.subtract(available_);
+    return used.maxUtilizationVs(capacity_);
+}
+
+double
+Worker::dimensionUtilization(const std::string &dim) const
+{
+    const double cap = capacity_.get(dim);
+    if (cap <= 0.0)
+        return 0.0;
+    return (cap - available_.get(dim)) / cap;
+}
+
+ResourceVector
+vcuWorkerCapacity(uint64_t dram_bytes, double host_cpu_millicores,
+                  double sw_decode_millicores)
+{
+    // Section 3.3.3: "each VCU has 3,000 millidecode cores and
+    // 10,000 milliencode cores available".
+    ResourceVector cap;
+    cap.set(kResDecodeMillicores, 3000);
+    cap.set(kResEncodeMillicores, 10000);
+    cap.set(kResDramBytes, static_cast<double>(dram_bytes));
+    cap.set(kResHostCpuMillicores, host_cpu_millicores);
+    cap.set(kResSwDecodeMillicores, sw_decode_millicores);
+    return cap;
+}
+
+} // namespace wsva::cluster

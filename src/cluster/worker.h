@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Worker processes (Section 3.1, 3.3.3).
+ *
+ * A VCU worker has exclusive access to one VCU and runs a process
+ * per transcode to constrain errors to a single step. Workers expose
+ * named resource capacities to the scheduler, execute assigned steps
+ * for their service time, and surface VCU faults: a worker whose VCU
+ * develops a silent fault completes work *faster* and corrupt (the
+ * black-holing hazard of Section 4.4).
+ */
+
+#ifndef WSVA_CLUSTER_WORKER_H
+#define WSVA_CLUSTER_WORKER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/resources.h"
+#include "cluster/work.h"
+
+namespace wsva::cluster {
+
+/** Worker flavors. */
+enum class WorkerType : int {
+    Vcu = 0, //!< Exclusive access to one VCU.
+    Cpu = 1, //!< Software transcoding / non-transcoding steps.
+};
+
+/** Health of the VCU a worker is bound to. */
+struct VcuHealth
+{
+    bool disabled = false;      //!< Fault manager pulled it.
+    bool silent_fault = false;  //!< Produces corrupt output, fast.
+    /** Service-time multiplier; silent faults often run "fast". */
+    double speed_factor = 1.0;
+};
+
+/** Outcome of one step execution. */
+struct StepOutcome
+{
+    TranscodeStep step;
+    bool ok = true;        //!< False: hardware error, must retry.
+    bool corrupt = false;  //!< Completed but output is garbage.
+    double finish_time = 0.0;
+};
+
+/** One worker process. */
+class Worker
+{
+  public:
+    Worker(int id, WorkerType type, ResourceVector capacity);
+
+    int id() const { return id_; }
+    WorkerType type() const { return type_; }
+    const ResourceVector &capacity() const { return capacity_; }
+    const ResourceVector &available() const { return available_; }
+
+    /** Bind to VCU health state (owned by the host model). */
+    void bindVcu(VcuHealth *health) { vcu_ = health; }
+    const VcuHealth *vcu() const { return vcu_; }
+
+    /**
+     * Worker startup screening: functional reset + golden transcodes
+     * (Section 4.4). A worker must refuse to start on a VCU with a
+     * persistent fault. @return true if the worker may serve.
+     */
+    bool goldenScreen() const;
+
+    /** True if @p need fits in the current availability. */
+    bool canFit(const ResourceVector &need) const;
+
+    /**
+     * Assign a step; reserves resources until completion.
+     * @param now Current simulation time (seconds).
+     * @param service_seconds Nominal service time (scaled by the
+     *        VCU's speed factor).
+     */
+    void assign(const TranscodeStep &step, const ResourceVector &need,
+                double now, double service_seconds);
+
+    /**
+     * Collect steps finishing at or before @p now, releasing their
+     * resources. Steps on a disabled VCU fail (ok = false); steps on
+     * a silently faulty VCU complete corrupt.
+     */
+    std::vector<StepOutcome> collectFinished(double now);
+
+    /**
+     * Abort everything in flight (black-holing mitigation). The
+     * worker process restarts afterwards, so it must golden-screen
+     * its VCU before taking new work (needsScreen() becomes true).
+     */
+    std::vector<TranscodeStep> abortAll();
+
+    /** True if the (restarted) worker must screen before serving. */
+    bool needsScreen() const { return needs_screen_; }
+
+    /** Screening passed; clear the flag. */
+    void clearScreen() { needs_screen_ = false; }
+
+    /** Quarantine: the worker refused its VCU after a failed screen;
+     *  it takes no work until the host is repaired. */
+    void setRefused(bool value) { refused_ = value; }
+    bool refused() const { return refused_; }
+
+    /** Host came back from repair: fresh worker state. */
+    void repairReset();
+
+    size_t runningSteps() const { return running_.size(); }
+    bool idle() const { return running_.empty(); }
+
+    /** Busiest-dimension utilization in [0, 1]. */
+    double utilization() const;
+
+    /** Utilization of one dimension in [0, 1]. */
+    double dimensionUtilization(const std::string &dim) const;
+
+  private:
+    struct Running
+    {
+        TranscodeStep step;
+        ResourceVector need;
+        double finish_time;
+    };
+
+    int id_;
+    WorkerType type_;
+    ResourceVector capacity_;
+    ResourceVector available_;
+    std::vector<Running> running_;
+    VcuHealth *vcu_ = nullptr;
+    bool needs_screen_ = false;
+    bool refused_ = false;
+};
+
+/** Capacity vector of a standard VCU worker (one VCU). */
+ResourceVector vcuWorkerCapacity(uint64_t dram_bytes = 8ull << 30,
+                                 double host_cpu_millicores = 5000,
+                                 double sw_decode_millicores = 2000);
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_WORKER_H

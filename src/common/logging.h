@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status-message and error-handling helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (aborts, may dump core), fatal() is for unrecoverable
+ * user/configuration errors (clean exit(1)), warn()/inform() report
+ * conditions without stopping the run.
+ */
+
+#ifndef WSVA_COMMON_LOGGING_H
+#define WSVA_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace wsva {
+
+/** printf-style formatting into a std::string. */
+std::string strformat(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrformat(const char *fmt, va_list args);
+
+namespace detail {
+/** Emit one log line with the given severity tag to stderr. */
+void logLine(const char *tag, const std::string &msg);
+} // namespace detail
+
+/** Report normal operating status; no connotation of misbehaviour. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious-but-survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an unrecoverable user/configuration error.
+ * Calls exit(1); never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate due to an internal bug (a condition that should never
+ * happen regardless of input). Calls abort(); never returns.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** panic() unless the condition holds. Cheap enough to keep in release. */
+#define WSVA_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::wsva::panic("assertion '%s' failed at %s:%d: %s", #cond,      \
+                          __FILE__, __LINE__,                               \
+                          ::wsva::strformat(__VA_ARGS__).c_str());          \
+        }                                                                   \
+    } while (0)
+
+} // namespace wsva
+
+#endif // WSVA_COMMON_LOGGING_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Unit constants and conversions used throughout the repository.
+ *
+ * Conventions:
+ *  - bytes are uint64_t, bandwidths are double bytes/second;
+ *  - pixel throughput is double pixels/second (printed as Mpix/s);
+ *  - simulated time is double seconds.
+ */
+
+#ifndef WSVA_COMMON_UNITS_H
+#define WSVA_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace wsva {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+
+/** Bits per second from megabits per second. */
+constexpr double
+mbps(double v)
+{
+    return v * 1e6;
+}
+
+/** Bits per second from gigabits per second. */
+constexpr double
+gbps(double v)
+{
+    return v * 1e9;
+}
+
+/** Bytes per second from GiB/s. */
+constexpr double
+gibPerSec(double v)
+{
+    return v * static_cast<double>(kGiB);
+}
+
+/** Pixels per second expressed in Mpix/s. */
+constexpr double
+toMpixPerSec(double pixels_per_sec)
+{
+    return pixels_per_sec / 1e6;
+}
+
+/** Pixels per second expressed in Gpix/s. */
+constexpr double
+toGpixPerSec(double pixels_per_sec)
+{
+    return pixels_per_sec / 1e9;
+}
+
+} // namespace wsva
+
+#endif // WSVA_COMMON_UNITS_H

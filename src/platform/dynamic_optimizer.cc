@@ -1,0 +1,89 @@
+#include "platform/dynamic_optimizer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "video/codec/decoder.h"
+#include "video/codec/encoder.h"
+#include "video/metrics.h"
+
+namespace wsva::platform {
+
+using wsva::video::codec::decodeChunkOrDie;
+using wsva::video::codec::EncoderConfig;
+using wsva::video::codec::encodeSequence;
+using wsva::video::codec::RcMode;
+
+const OperatingPoint &
+RateQualityCurve::cheapestAtQuality(double min_psnr_db) const
+{
+    WSVA_ASSERT(!points.empty(), "empty rate-quality curve");
+    const OperatingPoint *best = nullptr;
+    for (const auto &p : points) {
+        if (p.psnr_db >= min_psnr_db &&
+            (best == nullptr || p.bitrate_bps < best->bitrate_bps)) {
+            best = &p;
+        }
+    }
+    if (best != nullptr)
+        return *best;
+    // Unreachable target: return the highest-quality point.
+    return *std::max_element(points.begin(), points.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.psnr_db < b.psnr_db;
+                             });
+}
+
+const OperatingPoint &
+RateQualityCurve::bestUnderRate(double max_bitrate_bps) const
+{
+    WSVA_ASSERT(!points.empty(), "empty rate-quality curve");
+    const OperatingPoint *best = nullptr;
+    for (const auto &p : points) {
+        if (p.bitrate_bps <= max_bitrate_bps &&
+            (best == nullptr || p.psnr_db > best->psnr_db)) {
+            best = &p;
+        }
+    }
+    if (best != nullptr)
+        return *best;
+    return *std::min_element(points.begin(), points.end(),
+                             [](const auto &a, const auto &b) {
+                                 return a.bitrate_bps < b.bitrate_bps;
+                             });
+}
+
+RateQualityCurve
+buildRateQualityCurve(const std::vector<wsva::video::Frame> &clip,
+                      const DynamicOptimizerConfig &cfg)
+{
+    WSVA_ASSERT(!clip.empty(), "empty clip");
+    WSVA_ASSERT(!cfg.probe_qps.empty(), "no probe quantizers");
+
+    RateQualityCurve curve;
+    std::vector<int> qps = cfg.probe_qps;
+    std::sort(qps.begin(), qps.end());
+
+    for (const int qp : qps) {
+        EncoderConfig ecfg;
+        ecfg.codec = cfg.codec;
+        ecfg.width = clip[0].width();
+        ecfg.height = clip[0].height();
+        ecfg.fps = cfg.fps;
+        ecfg.rc_mode = RcMode::ConstQp;
+        ecfg.base_qp = qp;
+        ecfg.gop_length = static_cast<int>(clip.size());
+        ecfg.hardware = cfg.hardware;
+
+        OperatingPoint point;
+        point.qp = qp;
+        point.chunk = encodeSequence(ecfg, clip);
+        point.bitrate_bps = point.chunk.bitrateBps();
+        const auto decoded = decodeChunkOrDie(point.chunk.bytes);
+        point.psnr_db = wsva::video::sequencePsnr(clip, decoded.frames);
+        curve.points.push_back(std::move(point));
+    }
+    return curve;
+}
+
+} // namespace wsva::platform

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-title dynamic optimization (Section 2.1: "advanced encoding
+ * systems may do multiple complete passes ... additional analysis
+ * (e.g., rate quality curves for individual videos at multiple
+ * operating points) to produce better quality/compression trade-offs
+ * at additional computational cost").
+ *
+ * The optimizer encodes a clip at several quantizers, builds its
+ * operational rate-quality curve, and picks the cheapest operating
+ * point meeting a quality target (or the best quality under a rate
+ * cap). This is the "extra processing" the popularity policy spends
+ * on the most-watched bucket — exactly the compute that only became
+ * affordable at upload time with VCUs (Section 4.5).
+ */
+
+#ifndef WSVA_PLATFORM_DYNAMIC_OPTIMIZER_H
+#define WSVA_PLATFORM_DYNAMIC_OPTIMIZER_H
+
+#include <vector>
+
+#include "video/codec/codec.h"
+#include "video/frame.h"
+
+namespace wsva::platform {
+
+/** One probed operating point. */
+struct OperatingPoint
+{
+    int qp = 0;
+    double bitrate_bps = 0.0;
+    double psnr_db = 0.0;
+    wsva::video::codec::EncodedChunk chunk; //!< The actual encode.
+};
+
+/** The per-title rate-quality curve. */
+struct RateQualityCurve
+{
+    std::vector<OperatingPoint> points; //!< Sorted by ascending qp.
+
+    /**
+     * Cheapest point with psnr >= target; falls back to the highest-
+     * quality point when the target is unreachable.
+     */
+    const OperatingPoint &cheapestAtQuality(double min_psnr_db) const;
+
+    /**
+     * Best-quality point with bitrate <= cap; falls back to the
+     * cheapest point when even that exceeds the cap.
+     */
+    const OperatingPoint &bestUnderRate(double max_bitrate_bps) const;
+};
+
+/** Optimizer configuration. */
+struct DynamicOptimizerConfig
+{
+    wsva::video::codec::CodecType codec =
+        wsva::video::codec::CodecType::VP9;
+    bool hardware = true;        //!< VCUs make the probes affordable.
+    std::vector<int> probe_qps = {20, 28, 36, 44, 52};
+    double fps = 30.0;
+};
+
+/**
+ * Probe the clip at every configured quantizer and return its
+ * rate-quality curve (each point carries the finished encode, so
+ * selecting a point is free).
+ */
+RateQualityCurve buildRateQualityCurve(
+    const std::vector<wsva::video::Frame> &clip,
+    const DynamicOptimizerConfig &cfg);
+
+} // namespace wsva::platform
+
+#endif // WSVA_PLATFORM_DYNAMIC_OPTIMIZER_H

@@ -1,0 +1,183 @@
+#include "platform/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "video/codec/decoder.h"
+#include "video/codec/rate_control.h"
+
+namespace wsva::platform {
+
+using wsva::video::codec::decodeChunk;
+using wsva::video::codec::encodeSequenceWithStats;
+using wsva::video::codec::FirstPassStats;
+using wsva::video::codec::RcMode;
+using wsva::video::codec::runFirstPass;
+using wsva::video::scaleFrame;
+
+std::vector<std::vector<Frame>>
+chunkFrames(const std::vector<Frame> &clip, int chunk_frames)
+{
+    WSVA_ASSERT(chunk_frames > 0, "chunk length must be positive");
+    std::vector<std::vector<Frame>> chunks;
+    for (size_t start = 0; start < clip.size();
+         start += static_cast<size_t>(chunk_frames)) {
+        const size_t end = std::min(
+            clip.size(), start + static_cast<size_t>(chunk_frames));
+        chunks.emplace_back(clip.begin() + static_cast<long>(start),
+                            clip.begin() + static_cast<long>(end));
+    }
+    return chunks;
+}
+
+size_t
+OutputVariant::totalBytes() const
+{
+    size_t total = 0;
+    for (const auto &c : chunks)
+        total += c.bytes.size();
+    return total;
+}
+
+double
+OutputVariant::bitrateBps() const
+{
+    int shown = 0;
+    double fps = 30.0;
+    for (const auto &c : chunks) {
+        shown += c.shownFrameCount();
+        fps = c.fps;
+    }
+    if (shown == 0)
+        return 0.0;
+    return static_cast<double>(totalBytes()) * 8.0 * fps / shown;
+}
+
+namespace {
+
+/** Encode one scaled chunk sequence into a variant. */
+OutputVariant
+encodeVariant(const std::vector<std::vector<Frame>> &chunks,
+              Resolution resolution, CodecType codec,
+              const PipelineConfig &cfg,
+              const std::vector<FirstPassStats> &chunk_stats,
+              double bitrate_scale)
+{
+    OutputVariant variant;
+    variant.resolution = resolution;
+    variant.codec = codec;
+    for (size_t i = 0; i < chunks.size(); ++i) {
+        std::vector<Frame> scaled;
+        scaled.reserve(chunks[i].size());
+        for (const auto &f : chunks[i])
+            scaled.push_back(
+                scaleFrame(f, resolution.width, resolution.height));
+
+        EncoderConfig ecfg = cfg.encoder;
+        ecfg.codec = codec;
+        ecfg.width = resolution.width;
+        ecfg.height = resolution.height;
+        ecfg.target_bitrate_bps *= bitrate_scale;
+        ecfg.gop_length =
+            std::max(ecfg.gop_length, static_cast<int>(scaled.size()));
+
+        FirstPassStats stats;
+        if (ecfg.rc_mode != RcMode::ConstQp) {
+            // MOT shares the source-analysis statistics across rungs;
+            // the complexity signal is resolution-independent enough.
+            stats = i < chunk_stats.size() ? chunk_stats[i]
+                                           : runFirstPass(scaled);
+        }
+        variant.chunks.push_back(
+            encodeSequenceWithStats(ecfg, scaled, std::move(stats)));
+    }
+    return variant;
+}
+
+} // namespace
+
+TranscodeResult
+transcodeSot(const std::vector<Frame> &source, Resolution output,
+             CodecType codec, const PipelineConfig &cfg)
+{
+    return transcodeMot(source, {output}, codec, cfg);
+}
+
+TranscodeResult
+transcodeMot(const std::vector<Frame> &source,
+             const std::vector<Resolution> &outputs, CodecType codec,
+             const PipelineConfig &cfg)
+{
+    WSVA_ASSERT(!source.empty(), "empty source clip");
+    WSVA_ASSERT(!outputs.empty(), "no output variants requested");
+
+    const auto chunks = chunkFrames(source, cfg.chunk_frames);
+
+    // One analysis pass over the source per chunk, shared by rungs.
+    std::vector<FirstPassStats> chunk_stats;
+    if (cfg.encoder.rc_mode != RcMode::ConstQp) {
+        chunk_stats.reserve(chunks.size());
+        for (const auto &chunk : chunks)
+            chunk_stats.push_back(runFirstPass(chunk));
+    }
+
+    // Bitrate ladder: lower rungs get sublinearly scaled targets.
+    double top_pixels = 0.0;
+    for (const auto &res : outputs) {
+        top_pixels = std::max(
+            top_pixels, static_cast<double>(res.width) * res.height);
+    }
+
+    TranscodeResult result;
+    for (const auto &res : outputs) {
+        const double rel =
+            static_cast<double>(res.width) * res.height / top_pixels;
+        const double scale =
+            std::pow(rel, cfg.ladder_bitrate_exponent);
+        result.variants.push_back(encodeVariant(chunks, res, codec, cfg,
+                                                chunk_stats, scale));
+    }
+
+    // Integrity verification (Section 4.4): every variant must decode
+    // and match the input length.
+    for (const auto &variant : result.variants) {
+        std::string error;
+        const auto frames =
+            assembleVariant(variant, source.size(), &error);
+        if (frames.empty()) {
+            result.integrity_ok = false;
+            result.integrity_error = error;
+            break;
+        }
+    }
+    return result;
+}
+
+std::vector<Frame>
+assembleVariant(const OutputVariant &variant, size_t expected_frames,
+                std::string *error)
+{
+    std::vector<Frame> assembled;
+    for (size_t i = 0; i < variant.chunks.size(); ++i) {
+        auto decoded = decodeChunk(variant.chunks[i].bytes);
+        if (!decoded.has_value()) {
+            if (error)
+                *error = wsva::strformat("chunk %zu failed to decode", i);
+            return {};
+        }
+        for (auto &f : decoded->frames)
+            assembled.push_back(std::move(f));
+    }
+    if (assembled.size() != expected_frames) {
+        if (error) {
+            *error = wsva::strformat(
+                "length mismatch: got %zu frames, expected %zu",
+                assembled.size(), expected_frames);
+        }
+        return {};
+    }
+    return assembled;
+}
+
+} // namespace wsva::platform

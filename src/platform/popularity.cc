@@ -1,0 +1,61 @@
+#include "platform/popularity.h"
+
+#include <cmath>
+
+namespace wsva::platform {
+
+using wsva::video::codec::CodecType;
+
+uint64_t
+sampleWatchCount(wsva::Rng &rng)
+{
+    // Stretched exponential: log(watches) ~ scale * (-log u)^(1/c).
+    // c < 1 stretches the tail relative to a pure exponential.
+    const double u = std::max(1e-12, rng.uniformReal());
+    const double c = 0.55;
+    const double scale = 1.8;
+    const double lw = scale * std::pow(-std::log(u), 1.0 / c);
+    const double watches = std::exp(lw) - 1.0;
+    return static_cast<uint64_t>(std::min(watches, 1e12));
+}
+
+PopularityBucket
+bucketForWatchCount(uint64_t watches)
+{
+    if (watches >= 100000)
+        return PopularityBucket::Popular;
+    if (watches >= 100)
+        return PopularityBucket::Moderate;
+    return PopularityBucket::LongTail;
+}
+
+Treatment
+treatmentFor(PopularityBucket bucket, bool accelerated)
+{
+    Treatment t;
+    switch (bucket) {
+      case PopularityBucket::Popular:
+        // Worth extra compute to shave egress: newest codec, full
+        // effort. Pre-VCU this ran as batch CPU *after* upload; with
+        // VCUs it happens at upload time.
+        t.codecs = {CodecType::VP9, CodecType::H264};
+        t.two_pass = true;
+        t.rdo_rounds = 3;
+        break;
+      case PopularityBucket::Moderate:
+        t.codecs = accelerated
+            ? std::vector<CodecType>{CodecType::VP9, CodecType::H264}
+            : std::vector<CodecType>{CodecType::H264};
+        t.two_pass = true;
+        t.rdo_rounds = 2;
+        break;
+      case PopularityBucket::LongTail:
+        t.codecs = {CodecType::H264};
+        t.two_pass = accelerated; // Cheap on VCUs, skipped on CPU.
+        t.rdo_rounds = 1;
+        break;
+    }
+    return t;
+}
+
+} // namespace wsva::platform

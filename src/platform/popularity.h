@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Popularity-tiered processing policy (Section 2.2): video
+ * popularity follows a stretched power law with three buckets — very
+ * popular videos get extra processing to save egress bandwidth,
+ * modestly watched videos get standard treatment, and the long tail
+ * is processed to minimize compute/storage while staying playable.
+ */
+
+#ifndef WSVA_PLATFORM_POPULARITY_H
+#define WSVA_PLATFORM_POPULARITY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "video/codec/codec.h"
+
+namespace wsva::platform {
+
+/** The three treatment buckets. */
+enum class PopularityBucket : int {
+    Popular = 0,  //!< Top sliver of watch time: spend compute.
+    Moderate = 1, //!< Standard treatment.
+    LongTail = 2, //!< Minimize cost, keep playable.
+};
+
+/** Processing treatment derived from a bucket. */
+struct Treatment
+{
+    std::vector<wsva::video::codec::CodecType> codecs;
+    bool two_pass = true;
+    int rdo_rounds = 2;
+};
+
+/**
+ * Draw a predicted watch count from a stretched-exponential
+ * popularity model (Guo et al., PODC'08): heavy head, long tail.
+ */
+uint64_t sampleWatchCount(wsva::Rng &rng);
+
+/** Bucket a video given its (predicted) watch count. */
+PopularityBucket bucketForWatchCount(uint64_t watches);
+
+/**
+ * Treatment per bucket in the VCU era: VP9 + H.264 at upload for
+ * everything but the tail (Section 4.5 — acceleration made VP9 at
+ * upload time feasible); the tail keeps H.264-only.
+ */
+Treatment treatmentFor(PopularityBucket bucket, bool accelerated);
+
+} // namespace wsva::platform
+
+#endif // WSVA_PLATFORM_POPULARITY_H

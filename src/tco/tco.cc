@@ -1,0 +1,102 @@
+#include "tco/tco.h"
+
+#include "common/logging.h"
+
+namespace wsva::tco {
+
+double
+totalCostOfOwnership(const SystemSpec &spec, const CostModel &model)
+{
+    return spec.capex_usd +
+           spec.power_watts * model.years * model.usd_per_watt_year;
+}
+
+double
+perfPerTcoVsBaseline(const SystemSpec &spec, const SystemSpec &baseline,
+                     const CostModel &model, bool vp9)
+{
+    const double perf = vp9 ? spec.vp9_mpix_s : spec.h264_mpix_s;
+    const double base_perf =
+        vp9 ? baseline.vp9_mpix_s : baseline.h264_mpix_s;
+    WSVA_ASSERT(perf > 0 && base_perf > 0,
+                "system does not support the requested codec");
+    const double tco = totalCostOfOwnership(spec, model);
+    const double base_tco = totalCostOfOwnership(baseline, model);
+    return (perf / tco) / (base_perf / base_tco);
+}
+
+SystemSpec
+skylakeBaseline()
+{
+    SystemSpec s;
+    s.name = "Skylake (2S)";
+    s.capex_usd = 8000.0;
+    s.power_watts = 320.0; // Active (idle-subtracted) under load.
+    s.h264_mpix_s = 714.0; // Measured anchors from the paper.
+    s.vp9_mpix_s = 154.0;
+    return s;
+}
+
+SystemSpec
+nvidiaT4System()
+{
+    SystemSpec s;
+    s.name = "4x Nvidia T4";
+    s.capex_usd = 8000.0 + 4 * 2900.0;
+    s.power_watts = 320.0 + 4 * 70.0;
+    s.h264_mpix_s = 2484.0;
+    s.vp9_mpix_s = 0.0; // NVENC had no VP9 encode.
+    return s;
+}
+
+SystemSpec
+vcuSystem(int vcu_count)
+{
+    WSVA_ASSERT(vcu_count > 0, "need at least one VCU");
+    SystemSpec s;
+    s.name = wsva::strformat("%dx VCU", vcu_count);
+    // Per-card (2 VCUs) cost; dense systems amortize the host.
+    const int cards = (vcu_count + 1) / 2;
+    s.capex_usd = 8000.0 + cards * 1750.0;
+    s.power_watts = 320.0 + vcu_count * 28.0;
+    // Per-VCU offline two-pass SOT rates (10 cores each); see the
+    // cluster mapping policy for the derivation of ~75 Mpix/s/core.
+    s.h264_mpix_s = vcu_count * 746.6;
+    s.vp9_mpix_s = vcu_count * 765.3;
+    return s;
+}
+
+SystemBalanceReport
+computeSystemBalance(const SystemBalanceInput &in)
+{
+    SystemBalanceReport r;
+
+    // A.2: the NIC converts to a pixel-throughput bound via the
+    // average pixels-per-bit of uploaded video.
+    r.network_limit_gpix_s = in.nic_gbps * in.pixels_per_bit;
+    r.derated_gpix_s = r.network_limit_gpix_s / in.upload_headroom *
+                       (1.0 - in.overhead_fraction);
+
+    // A.3 / Table 2: host resources scaled to the derated target.
+    r.transcode_cores = in.cores_per_gpix_s * r.derated_gpix_s;
+    r.transcode_dram_gbps = in.dram_gbps_per_gpix_s * r.derated_gpix_s;
+    r.total_cores = r.transcode_cores + in.network_cores;
+    r.total_dram_gbps = r.transcode_dram_gbps + in.network_dram_gbps;
+
+    // A.2: VCU count ceilings at the network limit.
+    r.vcu_ceiling_realtime = r.derated_gpix_s / in.vcu_realtime_gpix_s;
+    r.vcu_ceiling_offline = r.derated_gpix_s / in.vcu_offline_gpix_s;
+
+    // A.4: device-DRAM worst cases. Low-latency SOT runs in real
+    // time, so concurrent streams = target / per-stream pixel rate
+    // (0.5 Gpix/s for 2160p60); offline two-pass streams run ~5x
+    // longer, holding their footprints proportionally longer.
+    const double realtime_streams = r.derated_gpix_s / 0.5;
+    r.sot_dram_gib = realtime_streams * in.sot_stream_mib / 1024.0;
+    const double stretch =
+        in.vcu_realtime_gpix_s / in.vcu_offline_gpix_s;
+    r.offline_dram_gib = r.sot_dram_gib * stretch;
+    return r;
+}
+
+} // namespace wsva::tco

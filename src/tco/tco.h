@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Performance-per-TCO and perf/watt models (Table 1) and the
+ * Appendix-A system-balance calculator (Table 2 and Section A.2-A.5).
+ *
+ * The paper cannot publish its TCO methodology; following its
+ * reference (Barroso et al., "The Datacenter as a Computer"), TCO =
+ * capital expense + 3 years of operational expense (dominated by
+ * power). Component prices and active-power figures here are chosen
+ * to be internally consistent and to land the *ratios* near the
+ * published ones; every result is reported normalized to the CPU
+ * baseline, exactly as the paper does.
+ */
+
+#ifndef WSVA_TCO_TCO_H
+#define WSVA_TCO_TCO_H
+
+#include <string>
+#include <vector>
+
+namespace wsva::tco {
+
+/** One system under comparison. */
+struct SystemSpec
+{
+    std::string name;
+    double capex_usd = 0.0;       //!< Host + accelerator cards.
+    double power_watts = 0.0;     //!< Sustained active power.
+    /** Offline two-pass SOT throughput in Mpix/s. */
+    double h264_mpix_s = 0.0;
+    double vp9_mpix_s = 0.0;      //!< 0 = unsupported.
+};
+
+/** Cost-model parameters. */
+struct CostModel
+{
+    double years = 3.0;
+    /** Opex per watt-year (power + cooling + distribution). */
+    double usd_per_watt_year = 1.4;
+};
+
+/** Total cost of ownership of a system. */
+double totalCostOfOwnership(const SystemSpec &spec, const CostModel &model);
+
+/** Throughput / TCO, normalized to @p baseline. */
+double perfPerTcoVsBaseline(const SystemSpec &spec,
+                            const SystemSpec &baseline,
+                            const CostModel &model, bool vp9);
+
+/** The four Table-1 systems, calibrated to this repository's models. */
+SystemSpec skylakeBaseline();
+SystemSpec nvidiaT4System();   //!< 4 x T4.
+SystemSpec vcuSystem(int vcu_count); //!< 8 or 20 VCUs.
+
+// ------------------------------------------------------- Appendix A
+
+/** Inputs to the host system-balance analysis. */
+struct SystemBalanceInput
+{
+    double nic_gbps = 100.0;         //!< Host network interface.
+    double pixels_per_bit = 6.1;     //!< Avg upload (YouTube recs).
+    double upload_headroom = 2.0;    //!< 2x the ideal bitrates.
+    double overhead_fraction = 0.5;  //!< RPC + unrelated traffic.
+
+    /** Per-VCU pixel rates. */
+    double vcu_realtime_gpix_s = 5.0;   //!< 10 cores x 0.5 Gpix/s.
+    double vcu_offline_gpix_s = 1.02;   //!< Offline two-pass rate.
+
+    /** Host resource coefficients measured at the Table-2 target. */
+    double cores_per_gpix_s = 42.0 / 153.0;
+    double dram_gbps_per_gpix_s = 214.0 / 153.0;
+    double network_cores = 13.0;
+    double network_dram_gbps = 300.0;
+
+    /** Worst-case per-stream device DRAM (SOT, MiB). */
+    double sot_stream_mib = 500.0;
+};
+
+/** Output of the analysis (Table 2 plus the A.2/A.4 numbers). */
+struct SystemBalanceReport
+{
+    double network_limit_gpix_s = 0.0;   //!< ~610 ("~600").
+    double derated_gpix_s = 0.0;         //!< ~153.
+
+    double transcode_cores = 0.0;        //!< Table 2 row 1.
+    double transcode_dram_gbps = 0.0;
+    double total_cores = 0.0;            //!< Table 2 total.
+    double total_dram_gbps = 0.0;
+
+    double vcu_ceiling_realtime = 0.0;   //!< ~30 VCUs.
+    double vcu_ceiling_offline = 0.0;    //!< ~150 VCUs.
+
+    double sot_dram_gib = 0.0;           //!< ~150 GiB.
+    double offline_dram_gib = 0.0;       //!< ~750 GiB.
+};
+
+/** Run the Appendix-A analysis. */
+SystemBalanceReport computeSystemBalance(const SystemBalanceInput &in);
+
+} // namespace wsva::tco
+
+#endif // WSVA_TCO_TCO_H

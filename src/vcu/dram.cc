@@ -1,0 +1,67 @@
+#include "vcu/dram.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::vcu {
+
+std::vector<double>
+allocateBandwidth(double capacity, const std::vector<double> &demands)
+{
+    std::vector<double> grants(demands.size(), 0.0);
+    if (demands.empty() || capacity <= 0.0)
+        return grants;
+
+    double remaining = capacity;
+    std::vector<size_t> active;
+    for (size_t i = 0; i < demands.size(); ++i) {
+        WSVA_ASSERT(demands[i] >= 0.0, "negative bandwidth demand");
+        if (demands[i] > 0.0)
+            active.push_back(i);
+    }
+
+    // Water-filling: repeatedly satisfy every requester below the
+    // fair share, then split what is left among the rest.
+    while (!active.empty() && remaining > 1e-12) {
+        const double share = remaining / static_cast<double>(active.size());
+        bool any_satisfied = false;
+        std::vector<size_t> still_active;
+        for (size_t i : active) {
+            const double want = demands[i] - grants[i];
+            if (want <= share + 1e-12) {
+                grants[i] = demands[i];
+                remaining -= want;
+                any_satisfied = true;
+            } else {
+                still_active.push_back(i);
+            }
+        }
+        if (!any_satisfied) {
+            for (size_t i : still_active)
+                grants[i] += share;
+            remaining = 0.0;
+            break;
+        }
+        active = std::move(still_active);
+    }
+    return grants;
+}
+
+bool
+DramCapacity::reserve(uint64_t bytes)
+{
+    if (used_ + bytes > capacity_)
+        return false;
+    used_ += bytes;
+    return true;
+}
+
+void
+DramCapacity::release(uint64_t bytes)
+{
+    WSVA_ASSERT(bytes <= used_, "releasing more DRAM than reserved");
+    used_ -= bytes;
+}
+
+} // namespace wsva::vcu

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * VCU DRAM subsystem model: four 32-bit LPDDR4-3200 channels giving
+ * ~36 GiB/s of raw bandwidth, with side-band SECDED ECC on six x32
+ * devices and 8 GiB of usable capacity (Section 3.3.1). Bandwidth is
+ * shared among requesters by max-min fair (water-filling) allocation:
+ * light requesters get their full demand, heavy requesters split the
+ * remainder evenly, which matches an out-of-order fair memory
+ * controller at steady state.
+ */
+
+#ifndef WSVA_VCU_DRAM_H
+#define WSVA_VCU_DRAM_H
+
+#include <cstdint>
+#include <vector>
+
+namespace wsva::vcu {
+
+/** DRAM subsystem parameters. */
+struct DramConfig
+{
+    double raw_gibps = 36.0;      //!< 4 x 32b LPDDR4-3200.
+    double efficiency = 0.90;     //!< Achievable fraction of raw.
+    uint64_t capacity_bytes = 8ull << 30; //!< Usable (ECC sideband).
+
+    double usableGibps() const { return raw_gibps * efficiency; }
+};
+
+/**
+ * Max-min fair bandwidth allocation.
+ * @param capacity Total bandwidth available.
+ * @param demands Per-requester demands (>= 0).
+ * @return Per-requester grants; sum(grants) <= capacity and
+ *         grants[i] <= demands[i].
+ */
+std::vector<double> allocateBandwidth(double capacity,
+                                      const std::vector<double> &demands);
+
+/** Capacity bookkeeping for op footprints on a VCU. */
+class DramCapacity
+{
+  public:
+    explicit DramCapacity(uint64_t capacity_bytes)
+        : capacity_(capacity_bytes) {}
+
+    /** Try to reserve @p bytes; false if it would not fit. */
+    bool reserve(uint64_t bytes);
+
+    /** Release a previous reservation. */
+    void release(uint64_t bytes);
+
+    uint64_t used() const { return used_; }
+    uint64_t capacity() const { return capacity_; }
+    double utilization() const
+    {
+        return capacity_ > 0
+            ? static_cast<double>(used_) / static_cast<double>(capacity_)
+            : 0.0;
+    }
+
+  private:
+    uint64_t capacity_;
+    uint64_t used_ = 0;
+};
+
+} // namespace wsva::vcu
+
+#endif // WSVA_VCU_DRAM_H

@@ -1,0 +1,40 @@
+#include "vcu/faults.h"
+
+#include <cmath>
+
+namespace wsva::vcu {
+
+bool
+FaultInjector::advance(VcuChip &chip, double hours)
+{
+    if (chip.disabled())
+        return false;
+    bool hard_fault = false;
+
+    if (sample(rates_.correctable_ecc_per_hour, hours))
+        chip.recordCorrectableEcc();
+
+    if (sample(rates_.uncorrectable_ecc_per_hour, hours)) {
+        chip.recordUncorrectableEcc();
+        hard_fault = true;
+    }
+
+    if (sample(rates_.core_failure_per_hour, hours)) {
+        chip.failEncoderCore();
+        hard_fault = true;
+    }
+
+    if (sample(rates_.silent_fault_per_hour, hours)) {
+        chip.setSilentFault(true);
+        // Not a *detected* fault: the chip still reports healthy.
+    }
+
+    if (sample(rates_.vcu_failure_per_hour, hours)) {
+        chip.disable();
+        hard_fault = true;
+    }
+
+    return hard_fault;
+}
+
+} // namespace wsva::vcu

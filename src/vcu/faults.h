@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Seeded fault injection for VCU fleets (Section 4.4).
+ *
+ * Models the failure modes the paper manages in production:
+ * whole-VCU failures (DRAM errors and similar), individual core
+ * failures, correctable/uncorrectable ECC events, and the nasty
+ * "fast-failing" silent-corruption mode that causes black-holing
+ * (a broken VCU completes work quickly and attracts traffic).
+ */
+
+#ifndef WSVA_VCU_FAULTS_H
+#define WSVA_VCU_FAULTS_H
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "vcu/chip.h"
+
+namespace wsva::vcu {
+
+/** Per-hour fault rates for one VCU. */
+struct FaultRates
+{
+    double vcu_failure_per_hour = 0.0;       //!< Whole-VCU hard fail.
+    double core_failure_per_hour = 0.0;      //!< Single encoder core.
+    double correctable_ecc_per_hour = 0.0;   //!< Logged only.
+    double uncorrectable_ecc_per_hour = 0.0; //!< Triggers disable flow.
+    double silent_fault_per_hour = 0.0;      //!< Black-hole mode.
+};
+
+/** Applies random fault events to one chip over simulated time. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultRates rates, uint64_t seed)
+        : rates_(rates), rng_(seed) {}
+
+    /**
+     * Advance fault processes by @p hours, applying events to
+     * @p chip. Returns true if any *new* hard fault occurred.
+     */
+    bool advance(VcuChip &chip, double hours);
+
+  private:
+    bool sample(double rate_per_hour, double hours)
+    {
+        if (rate_per_hour <= 0.0)
+            return false;
+        const double p = 1.0 - std::exp(-rate_per_hour * hours);
+        return rng_.bernoulli(p);
+    }
+
+    FaultRates rates_;
+    wsva::Rng rng_;
+};
+
+} // namespace wsva::vcu
+
+#endif // WSVA_VCU_FAULTS_H

@@ -1,0 +1,152 @@
+#include "vcu/firmware.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::vcu {
+
+Firmware::Firmware(VcuChip &chip, FirmwareConfig cfg)
+    : chip_(&chip), cfg_(cfg)
+{
+}
+
+int
+Firmware::createQueue()
+{
+    for (size_t i = 0; i < queues_.size(); ++i) {
+        if (!queues_[i].alive) {
+            queues_[i] = Queue{};
+            queues_[i].alive = true;
+            return static_cast<int>(i);
+        }
+    }
+    queues_.push_back(Queue{});
+    queues_.back().alive = true;
+    return static_cast<int>(queues_.size() - 1);
+}
+
+void
+Firmware::destroyQueue(int q)
+{
+    WSVA_ASSERT(q >= 0 && static_cast<size_t>(q) < queues_.size() &&
+                    queues_[static_cast<size_t>(q)].alive,
+                "bad queue handle %d", q);
+    queues_[static_cast<size_t>(q)].alive = false;
+    queues_[static_cast<size_t>(q)].commands.clear();
+}
+
+void
+Firmware::enqueue(int q, const Command &cmd)
+{
+    WSVA_ASSERT(q >= 0 && static_cast<size_t>(q) < queues_.size() &&
+                    queues_[static_cast<size_t>(q)].alive,
+                "bad queue handle %d", q);
+    queues_[static_cast<size_t>(q)].commands.push_back(cmd);
+}
+
+bool
+Firmware::tryIssueHead(Queue &queue)
+{
+    if (queue.commands.empty())
+        return false;
+    Command &cmd = queue.commands.front();
+    switch (cmd.kind) {
+      case CmdKind::RunOnCore: {
+        if (!chip_->submit(cmd.op))
+            return false; // DRAM full or chip disabled: retry later.
+        op_owner_.emplace_back(cmd.op.id,
+                               static_cast<int>(&queue - queues_.data()));
+        ++queue.inflight_ops;
+        queue.commands.pop_front();
+        return true;
+      }
+      case CmdKind::CopyToDevice:
+      case CmdKind::CopyFromDevice:
+        copies_.push_back({cmd.id, static_cast<double>(cmd.bytes)});
+        queue.commands.pop_front();
+        return true;
+      case CmdKind::WaitForDone:
+        if (queue.inflight_ops > 0)
+            return false; // Barrier: wait for outstanding ops.
+        queue.commands.pop_front();
+        return true;
+    }
+    return false;
+}
+
+void
+Firmware::advance(double dt, std::vector<uint64_t> &done)
+{
+    // Round-robin issue across live queues (fairness + utilization).
+    if (!queues_.empty()) {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (size_t k = 0; k < queues_.size(); ++k) {
+                const size_t qi = (rr_cursor_ + k) % queues_.size();
+                auto &queue = queues_[qi];
+                if (!queue.alive)
+                    continue;
+                if (tryIssueHead(queue)) {
+                    progress = true;
+                    rr_cursor_ = (qi + 1) % queues_.size();
+                }
+            }
+        }
+    }
+
+    // Progress copies: the PCIe link is shared evenly.
+    if (!copies_.empty()) {
+        const double bytes_budget =
+            cfg_.pcie_gibps * double(1ull << 30) * dt /
+            static_cast<double>(copies_.size());
+        for (auto it = copies_.begin(); it != copies_.end();) {
+            it->remaining_bytes -= bytes_budget;
+            if (it->remaining_bytes <= 0.0) {
+                done.push_back(it->id);
+                it = copies_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    // Progress the chip and retire op completions to their queues.
+    std::vector<uint64_t> chip_done;
+    chip_->advance(dt, chip_done);
+    for (uint64_t id : chip_done) {
+        done.push_back(id);
+        for (auto it = op_owner_.begin(); it != op_owner_.end(); ++it) {
+            if (it->first == id) {
+                auto &queue = queues_[static_cast<size_t>(it->second)];
+                if (queue.alive && queue.inflight_ops > 0)
+                    --queue.inflight_ops;
+                op_owner_.erase(it);
+                break;
+            }
+        }
+    }
+}
+
+size_t
+Firmware::pending() const
+{
+    size_t n = copies_.size() + op_owner_.size();
+    for (const auto &q : queues_) {
+        if (q.alive)
+            n += q.commands.size();
+    }
+    return n;
+}
+
+size_t
+Firmware::queueCount() const
+{
+    size_t n = 0;
+    for (const auto &q : queues_)
+        n += q.alive;
+    return n;
+}
+
+} // namespace wsva::vcu

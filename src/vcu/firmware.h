@@ -1,0 +1,104 @@
+/**
+ * @file
+ * On-chip management firmware model (Section 3.3.2).
+ *
+ * The firmware exposes userspace-mapped queues with exactly four
+ * commands: run-on-core, copy-to-device, copy-from-device, and
+ * wait-for-done. Run-on-core does not name a core — the firmware
+ * schedules work onto any idle core, round-robin across queues for
+ * fairness and utilization. Each userspace process (one per
+ * transcode, Section 3.1) owns one queue; multiple threads multiplex
+ * onto it, expressing a data-dependency graph whose operations may
+ * start and finish out of order while wait-for-done provides the
+ * synchronization barrier.
+ */
+
+#ifndef WSVA_VCU_FIRMWARE_H
+#define WSVA_VCU_FIRMWARE_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "vcu/chip.h"
+
+namespace wsva::vcu {
+
+/** The four firmware commands. */
+enum class CmdKind : int {
+    RunOnCore = 0,
+    CopyToDevice = 1,
+    CopyFromDevice = 2,
+    WaitForDone = 3,
+};
+
+/** One queue entry. */
+struct Command
+{
+    CmdKind kind = CmdKind::RunOnCore;
+    VcuOp op;            //!< For RunOnCore.
+    uint64_t bytes = 0;  //!< For copies.
+    uint64_t id = 0;     //!< Completion token (any command).
+};
+
+/** Firmware configuration. */
+struct FirmwareConfig
+{
+    double pcie_gibps = 12.0; //!< Host link share for this VCU.
+};
+
+/** The firmware scheduler in front of one VcuChip. */
+class Firmware
+{
+  public:
+    Firmware(VcuChip &chip, FirmwareConfig cfg = {});
+
+    /** Create a queue for a userspace process; returns its handle. */
+    int createQueue();
+
+    /** Destroy a queue (process exit); pending commands are dropped. */
+    void destroyQueue(int q);
+
+    /** Enqueue a command on queue @p q. */
+    void enqueue(int q, const Command &cmd);
+
+    /**
+     * Advance time: dispatch run-on-core commands round-robin across
+     * queues, progress copies on the PCIe link, retire completions.
+     * Completed command ids are appended to @p done.
+     */
+    void advance(double dt, std::vector<uint64_t> &done);
+
+    /** Outstanding commands across all queues (issued + queued). */
+    size_t pending() const;
+
+    /** Number of live queues. */
+    size_t queueCount() const;
+
+  private:
+    struct Queue
+    {
+        bool alive = false;
+        std::deque<Command> commands;
+        uint64_t inflight_ops = 0; //!< RunOnCore ops not yet retired.
+    };
+
+    struct Copy
+    {
+        uint64_t id;
+        double remaining_bytes;
+    };
+
+    bool tryIssueHead(Queue &queue);
+
+    VcuChip *chip_;
+    FirmwareConfig cfg_;
+    std::vector<Queue> queues_;
+    size_t rr_cursor_ = 0;
+    std::vector<Copy> copies_;
+    std::vector<std::pair<uint64_t, int>> op_owner_; //!< op id -> queue.
+};
+
+} // namespace wsva::vcu
+
+#endif // WSVA_VCU_FIRMWARE_H

@@ -1,0 +1,74 @@
+#include "vcu/hlsim.h"
+
+#include <algorithm>
+
+namespace wsva::vcu {
+
+PipelineResult
+simulatePipeline(const std::vector<StageSpec> &stages,
+                 const std::vector<std::vector<uint32_t>> &service_cycles)
+{
+    const size_t n_stages = stages.size();
+    WSVA_ASSERT(n_stages >= 1, "pipeline needs at least one stage");
+    WSVA_ASSERT(service_cycles.size() == n_stages,
+                "service table must have one row per stage");
+    const size_t n_items = service_cycles[0].size();
+    for (const auto &row : service_cycles) {
+        WSVA_ASSERT(row.size() == n_items,
+                    "ragged service table (%zu vs %zu items)", row.size(),
+                    n_items);
+    }
+
+    PipelineResult result;
+    result.stages.resize(n_stages);
+    for (size_t s = 0; s < n_stages; ++s)
+        result.stages[s].name = stages[s].name;
+    if (n_items == 0)
+        return result;
+
+    // finish[s][i] = cycle when stage s finishes item i.
+    std::vector<std::vector<uint64_t>> finish(
+        n_stages, std::vector<uint64_t>(n_items, 0));
+
+    for (size_t i = 0; i < n_items; ++i) {
+        for (size_t s = 0; s < n_stages; ++s) {
+            // Earliest the item is available to this stage.
+            uint64_t ready = s == 0 ? 0 : finish[s - 1][i];
+            // Stage is serial: must finish the previous item first.
+            uint64_t stage_free = i == 0 ? 0 : finish[s][i - 1];
+            // Backpressure: the FIFO after stage s holds fifo_depth
+            // items; item i cannot *finish* at stage s until item
+            // (i - depth) has been consumed by stage s+1. Model it as
+            // a start constraint using the downstream finish time.
+            uint64_t space_free = 0;
+            const size_t depth = std::max<size_t>(1, stages[s].fifo_depth);
+            if (s + 1 < n_stages && i >= depth)
+                space_free = finish[s + 1][i - depth];
+            const uint64_t start =
+                std::max({ready, stage_free, space_free});
+            const uint64_t service = service_cycles[s][i];
+            finish[s][i] = start + service;
+
+            auto &st = result.stages[s];
+            st.busy_cycles += service;
+            // Backpressure stall: time beyond data/serial readiness.
+            st.stall_cycles += start - std::max(ready, stage_free);
+        }
+    }
+
+    result.total_cycles = finish[n_stages - 1][n_items - 1];
+    for (auto &st : result.stages) {
+        st.utilization = result.total_cycles > 0
+            ? static_cast<double>(st.busy_cycles) /
+                  static_cast<double>(result.total_cycles)
+            : 0.0;
+    }
+    result.throughput_items_per_cycle =
+        result.total_cycles > 0
+            ? static_cast<double>(n_items) /
+                  static_cast<double>(result.total_cycles)
+            : 0.0;
+    return result;
+}
+
+} // namespace wsva::vcu

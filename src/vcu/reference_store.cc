@@ -1,0 +1,93 @@
+#include "vcu/reference_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::vcu {
+
+namespace {
+
+uint64_t
+blockKey(int bx, int by)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(by)) << 32) |
+           static_cast<uint32_t>(bx);
+}
+
+} // namespace
+
+ReferenceStore::ReferenceStore(size_t capacity_pixels)
+    : capacity_blocks_(std::max<size_t>(1, capacity_pixels /
+                                               kRefBlockPixels))
+{
+}
+
+bool
+ReferenceStore::access(int bx, int by)
+{
+    const uint64_t key = blockKey(bx, by);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        ++hits_;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return true;
+    }
+    ++misses_;
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    while (map_.size() > capacity_blocks_) {
+        map_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return false;
+}
+
+void
+ReferenceStore::flush()
+{
+    lru_.clear();
+    map_.clear();
+}
+
+SearchTrafficResult
+simulateSearchTraffic(int frame_w, int frame_h, int window_x, int window_y,
+                      size_t store_pixels, int tile_col_width)
+{
+    WSVA_ASSERT(frame_w > 0 && frame_h > 0, "bad frame size");
+    ReferenceStore store(store_pixels);
+
+    constexpr int kMb = 16;
+    const int col_w = tile_col_width > 0 ? tile_col_width : frame_w;
+
+    auto touchWindow = [&](int mb_x, int mb_y) {
+        const int x0 = std::max(0, mb_x - window_x);
+        const int x1 = std::min(frame_w - 1, mb_x + kMb - 1 + window_x);
+        const int y0 = std::max(0, mb_y - window_y);
+        const int y1 = std::min(frame_h - 1, mb_y + kMb - 1 + window_y);
+        for (int by = y0 / kRefBlockH; by <= y1 / kRefBlockH; ++by)
+            for (int bx = x0 / kRefBlockW; bx <= x1 / kRefBlockW; ++bx)
+                store.access(bx, by);
+    };
+
+    for (int col = 0; col < frame_w; col += col_w) {
+        const int col_end = std::min(frame_w, col + col_w);
+        // Tile column: walk rows top to bottom, MBs left to right
+        // within the column.
+        for (int y = 0; y < frame_h; y += kMb)
+            for (int x = col; x < col_end; x += kMb)
+                touchWindow(x, y);
+    }
+
+    SearchTrafficResult result;
+    result.hits = store.hits();
+    result.misses = store.misses();
+    const double frame_pixels =
+        static_cast<double>(frame_w) * static_cast<double>(frame_h);
+    result.fetch_ratio =
+        static_cast<double>(store.misses()) * kRefBlockPixels /
+        frame_pixels;
+    return result;
+}
+
+} // namespace wsva::vcu

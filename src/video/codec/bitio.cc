@@ -1,0 +1,72 @@
+#include "video/codec/bitio.h"
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+void
+BitWriter::putBit(int bit)
+{
+    accum_ = (accum_ << 1) | static_cast<uint32_t>(bit & 1);
+    ++accum_bits_;
+    ++bit_count_;
+    if (accum_bits_ == 8) {
+        buf_.push_back(static_cast<uint8_t>(accum_));
+        accum_ = 0;
+        accum_bits_ = 0;
+    }
+}
+
+void
+BitWriter::putBits(uint32_t value, int count)
+{
+    WSVA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    for (int i = count - 1; i >= 0; --i)
+        putBit(static_cast<int>((value >> i) & 1));
+}
+
+void
+BitWriter::byteAlign()
+{
+    while (accum_bits_ != 0)
+        putBit(0);
+}
+
+std::vector<uint8_t>
+BitWriter::take()
+{
+    byteAlign();
+    return std::move(buf_);
+}
+
+int
+BitReader::getBit()
+{
+    if (bit_pos_ >= size_ * 8) {
+        overrun_ = true;
+        return 0;
+    }
+    const size_t byte = bit_pos_ / 8;
+    const int shift = 7 - static_cast<int>(bit_pos_ % 8);
+    ++bit_pos_;
+    return (data_[byte] >> shift) & 1;
+}
+
+uint32_t
+BitReader::getBits(int count)
+{
+    WSVA_ASSERT(count >= 0 && count <= 32, "bad bit count %d", count);
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i)
+        v = (v << 1) | static_cast<uint32_t>(getBit());
+    return v;
+}
+
+void
+BitReader::byteAlign()
+{
+    while (bit_pos_ % 8 != 0)
+        ++bit_pos_;
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,124 @@
+#include "video/codec/bitstream.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'V', 'C', '1'};
+
+void
+putU16(std::vector<uint8_t> &buf, uint32_t v)
+{
+    buf.push_back(static_cast<uint8_t>(v >> 8));
+    buf.push_back(static_cast<uint8_t>(v));
+}
+
+void
+putU32(std::vector<uint8_t> &buf, uint32_t v)
+{
+    putU16(buf, v >> 16);
+    putU16(buf, v & 0xffff);
+}
+
+uint32_t
+getU16(const std::vector<uint8_t> &buf, size_t &pos)
+{
+    const uint32_t v = (static_cast<uint32_t>(buf[pos]) << 8) | buf[pos + 1];
+    pos += 2;
+    return v;
+}
+
+uint32_t
+getU32(const std::vector<uint8_t> &buf, size_t &pos)
+{
+    const uint32_t hi = getU16(buf, pos);
+    return (hi << 16) | getU16(buf, pos);
+}
+
+} // namespace
+
+StreamWriter::StreamWriter(const SequenceHeader &seq)
+{
+    WSVA_ASSERT(seq.width > 0 && seq.width < 65536 && seq.height > 0 &&
+                    seq.height < 65536,
+                "bad stream dimensions %dx%d", seq.width, seq.height);
+    // push_back instead of insert() of the raw array: sidesteps a GCC
+    // 12 -Wstringop-overflow false positive on the memmove path.
+    for (char c : kMagic)
+        buf_.push_back(static_cast<uint8_t>(c));
+    buf_.push_back(static_cast<uint8_t>(seq.codec));
+    putU16(buf_, static_cast<uint32_t>(seq.width));
+    putU16(buf_, static_cast<uint32_t>(seq.height));
+    putU32(buf_, static_cast<uint32_t>(std::lround(seq.fps * 100.0)));
+    putU16(buf_, static_cast<uint32_t>(seq.frame_count));
+}
+
+void
+StreamWriter::addFrame(const FrameHeader &hdr,
+                       const std::vector<uint8_t> &payload)
+{
+    putU32(buf_, static_cast<uint32_t>(payload.size()));
+    uint32_t bits = 0;
+    bits |= (static_cast<uint32_t>(hdr.type) & 3u) << 14;
+    bits |= (hdr.show ? 1u : 0u) << 13;
+    bits |= (static_cast<uint32_t>(hdr.qp) & 63u) << 7;
+    bits |= (hdr.update_last ? 1u : 0u) << 6;
+    bits |= (hdr.update_golden ? 1u : 0u) << 5;
+    bits |= (hdr.update_altref ? 1u : 0u) << 4;
+    putU16(buf_, bits);
+    buf_.insert(buf_.end(), payload.begin(), payload.end());
+}
+
+std::vector<uint8_t>
+StreamWriter::take()
+{
+    return std::move(buf_);
+}
+
+std::optional<StreamReader>
+StreamReader::open(const std::vector<uint8_t> &bytes)
+{
+    if (bytes.size() < 15 || std::memcmp(bytes.data(), kMagic, 4) != 0)
+        return std::nullopt;
+    size_t pos = 4;
+    SequenceHeader seq;
+    const uint8_t codec = bytes[pos++];
+    if (codec > 1)
+        return std::nullopt;
+    seq.codec = static_cast<CodecType>(codec);
+    seq.width = static_cast<int>(getU16(bytes, pos));
+    seq.height = static_cast<int>(getU16(bytes, pos));
+    seq.fps = static_cast<double>(getU32(bytes, pos)) / 100.0;
+    seq.frame_count = static_cast<int>(getU16(bytes, pos));
+    if (seq.width <= 0 || seq.height <= 0 || seq.fps <= 0.0)
+        return std::nullopt;
+    return StreamReader(bytes, seq, pos);
+}
+
+bool
+StreamReader::nextFrame(FrameHeader &hdr, std::vector<uint8_t> &payload)
+{
+    if (pos_ + 6 > bytes_->size())
+        return false;
+    const uint32_t size = getU32(*bytes_, pos_);
+    const uint32_t bits = getU16(*bytes_, pos_);
+    if (pos_ + size > bytes_->size())
+        return false;
+    hdr.type = static_cast<FrameType>((bits >> 14) & 3u);
+    hdr.show = ((bits >> 13) & 1u) != 0;
+    hdr.qp = static_cast<int>((bits >> 7) & 63u);
+    hdr.update_last = ((bits >> 6) & 1u) != 0;
+    hdr.update_golden = ((bits >> 5) & 1u) != 0;
+    hdr.update_altref = ((bits >> 4) & 1u) != 0;
+    payload.assign(bytes_->begin() + static_cast<long>(pos_),
+                   bytes_->begin() + static_cast<long>(pos_ + size));
+    pos_ += size;
+    return true;
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Stream container: sequence header + length-delimited frame records.
+ *
+ * Layout (byte-aligned):
+ *   SequenceHeader: magic "WVC1", codec(8), width(16), height(16),
+ *                   fps_centi(32), frame_count(16)
+ *   FrameRecord:    payload_size(32), FrameHeader(16 bits), payload
+ *
+ * FrameHeader bits: type(2) show(1) qp(6) update_last(1)
+ * update_golden(1) update_altref(1), padded to 16.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_BITSTREAM_H
+#define WSVA_VIDEO_CODEC_BITSTREAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "video/codec/codec.h"
+
+namespace wsva::video::codec {
+
+/** Sequence-level parameters. */
+struct SequenceHeader
+{
+    CodecType codec = CodecType::VP9;
+    int width = 0;
+    int height = 0;
+    double fps = 30.0;
+    int frame_count = 0;
+};
+
+/** Frame-level parameters. */
+struct FrameHeader
+{
+    FrameType type = FrameType::Inter;
+    bool show = true;
+    int qp = 32;
+    bool update_last = true;
+    bool update_golden = false;
+    bool update_altref = false;
+};
+
+/** Serializer for a full stream. */
+class StreamWriter
+{
+  public:
+    explicit StreamWriter(const SequenceHeader &seq);
+
+    /** Append one frame record. */
+    void addFrame(const FrameHeader &hdr,
+                  const std::vector<uint8_t> &payload);
+
+    /** Finish and return the container bytes. */
+    std::vector<uint8_t> take();
+
+  private:
+    std::vector<uint8_t> buf_;
+};
+
+/** Parser for a full stream. */
+class StreamReader
+{
+  public:
+    /** Parse the sequence header; returns nullopt on malformed data. */
+    static std::optional<StreamReader>
+    open(const std::vector<uint8_t> &bytes);
+
+    const SequenceHeader &sequence() const { return seq_; }
+
+    /** True when all frame records have been consumed. */
+    bool atEnd() const { return pos_ >= bytes_->size(); }
+
+    /**
+     * Read the next frame record. Returns false on truncation.
+     * @param hdr Receives the frame header.
+     * @param payload Receives the entropy payload bytes.
+     */
+    bool nextFrame(FrameHeader &hdr, std::vector<uint8_t> &payload);
+
+  private:
+    StreamReader(const std::vector<uint8_t> &bytes, SequenceHeader seq,
+                 size_t pos)
+        : bytes_(&bytes), seq_(seq), pos_(pos) {}
+
+    const std::vector<uint8_t> *bytes_;
+    SequenceHeader seq_;
+    size_t pos_;
+};
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_BITSTREAM_H

@@ -1,0 +1,30 @@
+#include "video/codec/codec.h"
+
+namespace wsva::video::codec {
+
+const char *
+codecName(CodecType codec)
+{
+    return codec == CodecType::H264 ? "h264" : "vp9";
+}
+
+int
+EncodedChunk::shownFrameCount() const
+{
+    int n = 0;
+    for (const auto &f : frames)
+        n += f.shown;
+    return n;
+}
+
+double
+EncodedChunk::bitrateBps() const
+{
+    const int shown = shownFrameCount();
+    if (shown == 0 || fps <= 0.0)
+        return 0.0;
+    const double seconds = shown / fps;
+    return static_cast<double>(bytes.size()) * 8.0 / seconds;
+}
+
+} // namespace wsva::video::codec

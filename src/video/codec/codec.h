@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Public codec API types.
+ *
+ * The library implements one block-based transform codec with two
+ * coding profiles named after the specifications they are modeled on:
+ *
+ *  - CodecType::H264 — static Exp-Golomb entropy coding, the older
+ *    and cheaper profile;
+ *  - CodecType::VP9 — context-adaptive arithmetic coding with
+ *    per-frame backward probability adaptation, temporal-filtered
+ *    alternate reference frames, and compound prediction: more
+ *    compression for more compute.
+ *
+ * These are NOT standard-conformant H.264/VP9 bitstreams; they are
+ * simplified reimplementations that preserve the structural
+ * quality/compute trade-offs the paper's evaluation depends on.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_CODEC_H
+#define WSVA_VIDEO_CODEC_CODEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/** Coding-specification profile. */
+enum class CodecType : int {
+    H264 = 0,
+    VP9 = 1,
+};
+
+/** Name for printing ("h264" / "vp9"). */
+const char *codecName(CodecType codec);
+
+/** Rate-control operating modes (Section 2.1 of the paper). */
+enum class RcMode : int {
+    ConstQp = 0,          //!< Fixed quantizer (quality sweeps).
+    OnePass = 1,          //!< Low-latency single pass (live, gaming).
+    TwoPassLowLatency = 2,//!< Stats from current + prior frames only.
+    TwoPassLagged = 3,    //!< Bounded future window (live streams).
+    TwoPassOffline = 4,   //!< Whole-clip statistics (upload / VOD).
+};
+
+/** Frame types in the bitstream. */
+enum class FrameType : int {
+    Key = 0,    //!< Intra-only, resets references and entropy state.
+    Inter = 1,  //!< Predicted, displayed.
+    AltRef = 2, //!< Temporally filtered, hidden (VP9 profile).
+};
+
+/** Full encoder configuration. */
+struct EncoderConfig
+{
+    CodecType codec = CodecType::VP9;
+    int width = 0;
+    int height = 0;
+    double fps = 30.0;
+
+    RcMode rc_mode = RcMode::ConstQp;
+    int base_qp = 36;                //!< Used by ConstQp (0..63).
+    double target_bitrate_bps = 0.0; //!< Used by the other RC modes.
+    int gop_length = 30;             //!< Keyframe interval (chunk size).
+    int lag_frames = 8;              //!< Window for TwoPassLagged.
+
+    /**
+     * Implementation profile: false = software encoder (libx264 /
+     * libvpx stand-in, full tool set), true = VCU hardware encoder
+     * (pipelined tool set; exhaustive windowed ME but no trellis-
+     * style coefficient optimization and fewer RDO rounds).
+     */
+    bool hardware = false;
+
+    /**
+     * Post-deployment rate-control/tooling maturity for the hardware
+     * profile, 0 (launch) .. 8 (fully tuned); replays the paper's
+     * Figure 10 trajectory. Ignored for software encodes.
+     */
+    int tuning_level = 8;
+
+    int num_refs = 3;     //!< Reference frames searched (1..3).
+    bool enable_arf = true;  //!< Alternate reference (VP9 only).
+    int search_range = 16;   //!< Integer-pel ME radius.
+    int rdo_rounds = 2;      //!< Mode-search effort (1..3).
+};
+
+/** Per-frame metadata recorded by the encoder. */
+struct FrameInfo
+{
+    FrameType type = FrameType::Inter;
+    bool shown = true;
+    int qp = 0;
+    uint64_t bits = 0;
+};
+
+/** Encoded chunk: a self-contained closed-GOP bitstream. */
+struct EncodedChunk
+{
+    CodecType codec = CodecType::VP9;
+    int width = 0;
+    int height = 0;
+    double fps = 30.0;
+    std::vector<uint8_t> bytes;    //!< The bitstream.
+    std::vector<FrameInfo> frames; //!< Encoder-side stats (all frames).
+
+    /** Count of displayed frames. */
+    int shownFrameCount() const;
+
+    /** Stream bitrate in bits/second over the displayed duration. */
+    double bitrateBps() const;
+};
+
+/** Decoded output. */
+struct DecodedChunk
+{
+    CodecType codec = CodecType::VP9;
+    double fps = 30.0;
+    std::vector<Frame> frames; //!< Displayed frames.
+};
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_CODEC_H

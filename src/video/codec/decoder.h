@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The decoder: parses a stream container and reconstructs the
+ * displayed frames. The reconstruction path is bit-exact with the
+ * encoder's in-loop reconstruction.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_DECODER_H
+#define WSVA_VIDEO_CODEC_DECODER_H
+
+#include <optional>
+#include <vector>
+
+#include "video/codec/codec.h"
+
+namespace wsva::video::codec {
+
+/**
+ * Decode a full stream. Returns nullopt when the container is
+ * malformed or truncated.
+ */
+std::optional<DecodedChunk> decodeChunk(const std::vector<uint8_t> &bytes);
+
+/** Decode or abort — for tests and tools where failure is a bug. */
+DecodedChunk decodeChunkOrDie(const std::vector<uint8_t> &bytes);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_DECODER_H

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The encoder: mode decision, rate-distortion optimization, and
+ * bitstream production for both coding profiles and both
+ * implementation profiles (software reference / VCU hardware model).
+ */
+
+#ifndef WSVA_VIDEO_CODEC_ENCODER_H
+#define WSVA_VIDEO_CODEC_ENCODER_H
+
+#include <memory>
+#include <vector>
+
+#include "video/codec/codec.h"
+#include "video/codec/motion_search.h"
+#include "video/codec/rate_control.h"
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/**
+ * The concrete tool set an encode runs with, resolved from the
+ * configuration (codec profile, hardware flag, tuning level).
+ * Exposed publicly so benches can report which tools were active.
+ */
+struct Toolset
+{
+    SearchKind search_kind = SearchKind::Diamond;
+    int search_range = 16;
+    int num_intra_modes = 4;  //!< 1 = DC only ... 4 = all modes.
+    bool allow_split = true;
+    bool allow_compound = true; //!< VP9 16x16 two-ref averaging.
+    bool use_arf = true;        //!< Temporal-filtered alt-refs (VP9).
+    int tf_iterations = 1;      //!< Temporal-filter applications.
+    int golden_interval = 8;    //!< Mid-GOP golden updates (0 = off).
+    double lambda_scale = 1.0;  //!< RD trade-off multiplier.
+    double deadzone = 0.33;     //!< Quantizer rounding offset.
+    bool coeff_opt = true;      //!< Trellis-style level zeroing.
+    RateController::Tuning rc_tuning;
+};
+
+/** Resolve the tool set for a configuration. */
+Toolset resolveToolset(const EncoderConfig &cfg);
+
+/**
+ * Encode a full frame sequence into one closed-GOP-per-gop_length
+ * stream. Runs the first-pass analysis internally when the RC mode
+ * needs it.
+ */
+EncodedChunk encodeSequence(const EncoderConfig &cfg,
+                            const std::vector<Frame> &frames);
+
+/**
+ * Encode with caller-provided first-pass stats (lets the platform
+ * layer reuse stats across the outputs of a MOT ladder).
+ */
+EncodedChunk encodeSequenceWithStats(const EncoderConfig &cfg,
+                                     const std::vector<Frame> &frames,
+                                     FirstPassStats stats);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_ENCODER_H

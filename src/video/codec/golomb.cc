@@ -1,0 +1,66 @@
+#include "video/codec/golomb.h"
+
+#include <bit>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+void
+putUe(BitWriter &bw, uint32_t value)
+{
+    WSVA_ASSERT(value < 0xffffffffu, "ue(v) value overflow");
+    const uint32_t code = value + 1;
+    const int len = 32 - std::countl_zero(code);
+    for (int i = 0; i < len - 1; ++i)
+        bw.putBit(0);
+    bw.putBits(code, len);
+}
+
+uint32_t
+getUe(BitReader &br)
+{
+    int zeros = 0;
+    while (br.getBit() == 0 && !br.overrun() && zeros < 32)
+        ++zeros;
+    uint32_t suffix = zeros > 0 ? br.getBits(zeros) : 0;
+    return ((1u << zeros) | suffix) - 1;
+}
+
+void
+putSe(BitWriter &bw, int32_t value)
+{
+    // H.264 mapping: 0, 1, -1, 2, -2, ... -> 0, 1, 2, 3, 4, ...
+    uint32_t mapped = value > 0
+        ? 2u * static_cast<uint32_t>(value) - 1
+        : 2u * static_cast<uint32_t>(-value);
+    putUe(bw, mapped);
+}
+
+int32_t
+getSe(BitReader &br)
+{
+    uint32_t mapped = getUe(br);
+    if (mapped & 1)
+        return static_cast<int32_t>((mapped + 1) / 2);
+    return -static_cast<int32_t>(mapped / 2);
+}
+
+int
+ueBits(uint32_t value)
+{
+    const uint32_t code = value + 1;
+    const int len = 32 - std::countl_zero(code);
+    return 2 * len - 1;
+}
+
+int
+seBits(int32_t value)
+{
+    uint32_t mapped = value > 0
+        ? 2u * static_cast<uint32_t>(value) - 1
+        : 2u * static_cast<uint32_t>(-value);
+    return ueBits(mapped);
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Exp-Golomb universal codes (the H.264 ue(v)/se(v) codes) on top of
+ * the MSB-first bit I/O layer.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_GOLOMB_H
+#define WSVA_VIDEO_CODEC_GOLOMB_H
+
+#include <cstdint>
+
+#include "video/codec/bitio.h"
+
+namespace wsva::video::codec {
+
+/** Write an unsigned Exp-Golomb code for @p value. */
+void putUe(BitWriter &bw, uint32_t value);
+
+/** Read an unsigned Exp-Golomb code. */
+uint32_t getUe(BitReader &br);
+
+/** Write a signed Exp-Golomb code (H.264 se(v) mapping). */
+void putSe(BitWriter &bw, int32_t value);
+
+/** Read a signed Exp-Golomb code. */
+int32_t getSe(BitReader &br);
+
+/** Bit length of ue(value) — used by RD bit estimation. */
+int ueBits(uint32_t value);
+
+/** Bit length of se(value). */
+int seBits(int32_t value);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_GOLOMB_H

@@ -1,0 +1,71 @@
+#include "video/codec/intra.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+void
+intraPredict(const Plane &recon, int x, int y, int n, IntraMode mode,
+             uint8_t *out)
+{
+    const bool has_top = y > 0;
+    const bool has_left = x > 0;
+
+    // Gather neighbors (clamped to plane edges on the far side).
+    uint8_t top[64];
+    uint8_t left[64];
+    WSVA_ASSERT(n <= 64, "intra block too large");
+    for (int i = 0; i < n; ++i) {
+        top[i] = has_top ? recon.clampedAt(x + i, y - 1) : 128;
+        left[i] = has_left ? recon.clampedAt(x - 1, y + i) : 128;
+    }
+    const uint8_t corner =
+        (has_top && has_left) ? recon.at(x - 1, y - 1) : 128;
+
+    switch (mode) {
+      case IntraMode::Dc: {
+        uint32_t acc = 0;
+        uint32_t cnt = 0;
+        if (has_top) {
+            for (int i = 0; i < n; ++i)
+                acc += top[i];
+            cnt += static_cast<uint32_t>(n);
+        }
+        if (has_left) {
+            for (int i = 0; i < n; ++i)
+                acc += left[i];
+            cnt += static_cast<uint32_t>(n);
+        }
+        const uint8_t dc = cnt > 0
+            ? static_cast<uint8_t>((acc + cnt / 2) / cnt)
+            : 128;
+        std::fill(out, out + n * n, dc);
+        break;
+      }
+      case IntraMode::Vertical:
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                out[r * n + c] = top[c];
+        break;
+      case IntraMode::Horizontal:
+        for (int r = 0; r < n; ++r)
+            for (int c = 0; c < n; ++c)
+                out[r * n + c] = left[r];
+        break;
+      case IntraMode::TrueMotion:
+        for (int r = 0; r < n; ++r) {
+            for (int c = 0; c < n; ++c) {
+                const int v = static_cast<int>(left[r]) + top[c] - corner;
+                out[r * n + c] =
+                    static_cast<uint8_t>(std::clamp(v, 0, 255));
+            }
+        }
+        break;
+      default:
+        panic("bad intra mode %d", static_cast<int>(mode));
+    }
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Intra prediction from reconstructed neighbor pixels.
+ *
+ * Prediction operates on square blocks at any position inside a
+ * plane, reading the row above and the column to the left of the
+ * block from the reconstruction built so far (raster MB order means
+ * those pixels are final). Unavailable neighbors fall back to the
+ * 128 mid-grey, as in H.264/VP9.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_INTRA_H
+#define WSVA_VIDEO_CODEC_INTRA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/** Intra prediction modes (both profiles share the set). */
+enum class IntraMode : int {
+    Dc = 0,
+    Vertical = 1,
+    Horizontal = 2,
+    TrueMotion = 3, //!< VP9's TM / gradient predictor.
+};
+
+constexpr int kNumIntraModes = 4;
+
+/**
+ * Predict an n x n block at plane position (x, y) from reconstructed
+ * neighbors. @p out receives n*n predicted samples, row-major.
+ */
+void intraPredict(const Plane &recon, int x, int y, int n, IntraMode mode,
+                  uint8_t *out);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_INTRA_H

@@ -1,0 +1,87 @@
+#include "video/codec/loop_filter.h"
+
+#include <algorithm>
+
+namespace wsva::video::codec {
+
+namespace {
+
+/** Edge-activity threshold: only filter edges that look like blocking
+ *  artifacts (smooth on both sides, step across). Grows with QP. */
+int
+alphaThreshold(int qp)
+{
+    return 2 + qp / 4;
+}
+
+/** Maximum per-sample correction. */
+int
+tcLimit(int qp)
+{
+    return 1 + qp / 12;
+}
+
+/**
+ * Filter one edge sample quartet p1 p0 | q0 q1.
+ * Mirrors the H.264 weak filter shape: a clipped delta applied
+ * symmetrically across the edge.
+ */
+void
+filterSamples(uint8_t &p1, uint8_t &p0, uint8_t &q0, uint8_t &q1, int alpha,
+              int tc)
+{
+    const int dp = static_cast<int>(p0) - q0;
+    if (std::abs(dp) >= alpha)
+        return; // A real image edge, not a blocking artifact.
+    if (std::abs(static_cast<int>(p1) - p0) >= alpha ||
+        std::abs(static_cast<int>(q1) - q0) >= alpha) {
+        return; // Sides are not smooth; filtering would blur detail.
+    }
+    const int delta = std::clamp((((q0 - p0) * 4) + (p1 - q1) + 4) >> 3,
+                                 -tc, tc);
+    p0 = static_cast<uint8_t>(std::clamp(static_cast<int>(p0) + delta,
+                                         0, 255));
+    q0 = static_cast<uint8_t>(std::clamp(static_cast<int>(q0) - delta,
+                                         0, 255));
+}
+
+} // namespace
+
+void
+deblockPlane(Plane &plane, int qp)
+{
+    const int alpha = alphaThreshold(qp);
+    const int tc = tcLimit(qp);
+    const int width = plane.width();
+    const int height = plane.height();
+
+    // Vertical edges (filter across columns at x = 8, 16, ...).
+    for (int x = 8; x < width; x += 8) {
+        for (int y = 0; y < height; ++y) {
+            uint8_t *row = plane.row(y);
+            filterSamples(row[x - 2], row[x - 1], row[x], row[x + 1 < width
+                              ? x + 1 : x],
+                          alpha, tc);
+        }
+    }
+    // Horizontal edges.
+    for (int y = 8; y < height; y += 8) {
+        for (int x = 0; x < width; ++x) {
+            uint8_t &p1 = plane.at(x, y - 2);
+            uint8_t &p0 = plane.at(x, y - 1);
+            uint8_t &q0 = plane.at(x, y);
+            uint8_t &q1 = plane.at(x, y + 1 < height ? y + 1 : y);
+            filterSamples(p1, p0, q0, q1, alpha, tc);
+        }
+    }
+}
+
+void
+deblockFrame(Frame &frame, int qp)
+{
+    deblockPlane(frame.y(), qp);
+    deblockPlane(frame.u(), qp);
+    deblockPlane(frame.v(), qp);
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * In-loop deblocking filter.
+ *
+ * Applied identically by the encoder (to reconstructed frames before
+ * they become references) and the decoder, so the prediction loops
+ * stay in sync. Filters 8x8 transform-block edges with a strength
+ * derived from the frame QP.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_LOOP_FILTER_H
+#define WSVA_VIDEO_CODEC_LOOP_FILTER_H
+
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/** Deblock all 8x8 grid edges of a plane in place. */
+void deblockPlane(Plane &plane, int qp);
+
+/** Deblock a full frame (luma + chroma) in place. */
+void deblockFrame(Frame &frame, int qp);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_LOOP_FILTER_H

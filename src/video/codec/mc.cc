@@ -1,0 +1,125 @@
+#include "video/codec/mc.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+void
+extractBlock(const Plane &src, int x, int y, int n, uint8_t *out)
+{
+    const bool inside = x >= 0 && y >= 0 && x + n <= src.width() &&
+                        y + n <= src.height();
+    if (inside) {
+        for (int r = 0; r < n; ++r) {
+            const uint8_t *row = src.row(y + r) + x;
+            std::copy(row, row + n, out + r * n);
+        }
+        return;
+    }
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            out[r * n + c] = src.clampedAt(x + c, y + r);
+}
+
+void
+motionCompensate(const Plane &ref, int x, int y, int n, Mv mv, uint8_t *out)
+{
+    const int ix = x + (mv.x >> 1);
+    const int iy = y + (mv.y >> 1);
+    const bool half_x = mv.x & 1;
+    const bool half_y = mv.y & 1;
+
+    if (!half_x && !half_y) {
+        extractBlock(ref, ix, iy, n, out);
+        return;
+    }
+
+    // Bilinear half-pel: fetch an (n+1) x (n+1) patch then filter.
+    uint8_t patch[65 * 65];
+    WSVA_ASSERT(n <= 64, "MC block too large");
+    const int pn = n + 1;
+    const bool inside = ix >= 0 && iy >= 0 && ix + pn <= ref.width() &&
+                        iy + pn <= ref.height();
+    if (inside) {
+        for (int r = 0; r < pn; ++r) {
+            const uint8_t *row = ref.row(iy + r) + ix;
+            std::copy(row, row + pn, patch + r * pn);
+        }
+    } else {
+        for (int r = 0; r < pn; ++r)
+            for (int c = 0; c < pn; ++c)
+                patch[r * pn + c] = ref.clampedAt(ix + c, iy + r);
+    }
+
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const int p00 = patch[r * pn + c];
+            const int p01 = patch[r * pn + c + 1];
+            const int p10 = patch[(r + 1) * pn + c];
+            const int p11 = patch[(r + 1) * pn + c + 1];
+            int v;
+            if (half_x && half_y)
+                v = (p00 + p01 + p10 + p11 + 2) >> 2;
+            else if (half_x)
+                v = (p00 + p01 + 1) >> 1;
+            else
+                v = (p00 + p10 + 1) >> 1;
+            out[r * n + c] = static_cast<uint8_t>(v);
+        }
+    }
+}
+
+uint32_t
+blockSad(const uint8_t *a, const uint8_t *b, int n)
+{
+    uint32_t acc = 0;
+    const int count = n * n;
+    for (int i = 0; i < count; ++i)
+        acc += static_cast<uint32_t>(std::abs(int(a[i]) - int(b[i])));
+    return acc;
+}
+
+uint64_t
+blockSse(const uint8_t *a, const uint8_t *b, int n)
+{
+    uint64_t acc = 0;
+    const int count = n * n;
+    for (int i = 0; i < count; ++i) {
+        const int d = int(a[i]) - int(b[i]);
+        acc += static_cast<uint64_t>(d * d);
+    }
+    return acc;
+}
+
+uint32_t
+sadAt(const Plane &src, const Plane &ref, int x, int y, int n, int dx,
+      int dy)
+{
+    const int rx = x + dx;
+    const int ry = y + dy;
+    const bool inside = rx >= 0 && ry >= 0 && rx + n <= ref.width() &&
+                        ry + n <= ref.height() && x + n <= src.width() &&
+                        y + n <= src.height();
+    uint32_t acc = 0;
+    if (inside) {
+        for (int r = 0; r < n; ++r) {
+            const uint8_t *s = src.row(y + r) + x;
+            const uint8_t *p = ref.row(ry + r) + rx;
+            for (int c = 0; c < n; ++c)
+                acc += static_cast<uint32_t>(std::abs(int(s[c]) - int(p[c])));
+        }
+        return acc;
+    }
+    for (int r = 0; r < n; ++r) {
+        for (int c = 0; c < n; ++c) {
+            const int s = src.clampedAt(x + c, y + r);
+            const int p = ref.clampedAt(rx + c, ry + r);
+            acc += static_cast<uint32_t>(std::abs(s - p));
+        }
+    }
+    return acc;
+}
+
+} // namespace wsva::video::codec

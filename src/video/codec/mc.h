@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Motion vectors, block sampling, motion compensation (with half-pel
+ * bilinear interpolation), and block distortion primitives.
+ *
+ * Motion vectors are stored in half-pel units throughout the codec.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_MC_H
+#define WSVA_VIDEO_CODEC_MC_H
+
+#include <cstdint>
+
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/** Motion vector in half-pel units. */
+struct Mv
+{
+    int16_t x = 0;
+    int16_t y = 0;
+
+    bool operator==(const Mv &other) const = default;
+};
+
+/**
+ * Sample an n x n motion-compensated prediction from @p ref at block
+ * position (x, y) displaced by @p mv (half-pel). Out-of-frame samples
+ * are edge-clamped.
+ */
+void motionCompensate(const Plane &ref, int x, int y, int n, Mv mv,
+                      uint8_t *out);
+
+/** Copy an n x n source block (edge-clamped) into @p out. */
+void extractBlock(const Plane &src, int x, int y, int n, uint8_t *out);
+
+/** Sum of absolute differences between two n*n sample arrays. */
+uint32_t blockSad(const uint8_t *a, const uint8_t *b, int n);
+
+/** Sum of squared errors between two n*n sample arrays. */
+uint64_t blockSse(const uint8_t *a, const uint8_t *b, int n);
+
+/**
+ * SAD between the n x n source block at (x, y) in @p src and the
+ * integer-pel displaced block in @p ref; the workhorse of integer
+ * motion search (avoids materializing prediction buffers).
+ */
+uint32_t sadAt(const Plane &src, const Plane &ref, int x, int y, int n,
+               int dx, int dy);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_MC_H

@@ -1,0 +1,132 @@
+#include "video/codec/motion_search.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+namespace {
+
+/** MV-rate bias: cheap proxy for the bits the MV difference costs. */
+uint32_t
+mvCost(Mv mv, Mv pred, uint32_t bias)
+{
+    const auto dx = static_cast<uint32_t>(std::abs(mv.x - pred.x));
+    const auto dy = static_cast<uint32_t>(std::abs(mv.y - pred.y));
+    return bias * (dx + dy);
+}
+
+struct Candidate
+{
+    int dx; //!< Integer-pel offset from the search center.
+    int dy;
+    uint32_t cost;
+};
+
+uint32_t
+integerCost(const Plane &src, const Plane &ref, int x, int y, int n, int dx,
+            int dy, Mv pred, uint32_t bias)
+{
+    const Mv mv{static_cast<int16_t>(dx * 2), static_cast<int16_t>(dy * 2)};
+    return sadAt(src, ref, x, y, n, dx, dy) + mvCost(mv, pred, bias);
+}
+
+} // namespace
+
+MotionResult
+searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
+             Mv pred, int range, SearchKind kind, uint32_t mv_cost_bias)
+{
+    // Search is centered on the rounded integer predictor.
+    const int cx = pred.x / 2;
+    const int cy = pred.y / 2;
+
+    Candidate best{cx, cy,
+                   integerCost(src, ref, x, y, n, cx, cy, pred,
+                               mv_cost_bias)};
+    // The zero vector is always a candidate (static content wins big).
+    if (cx != 0 || cy != 0) {
+        const uint32_t zero_cost =
+            integerCost(src, ref, x, y, n, 0, 0, pred, mv_cost_bias);
+        if (zero_cost < best.cost)
+            best = {0, 0, zero_cost};
+    }
+
+    if (kind == SearchKind::Exhaustive) {
+        for (int dy = -range; dy <= range; ++dy) {
+            for (int dx = -range; dx <= range; ++dx) {
+                const uint32_t cost = integerCost(src, ref, x, y, n, cx + dx,
+                                                  cy + dy, pred,
+                                                  mv_cost_bias);
+                if (cost < best.cost)
+                    best = {cx + dx, cy + dy, cost};
+            }
+        }
+    } else {
+        // Large-diamond descent with shrinking step.
+        int step = std::max(1, range / 2);
+        while (step >= 1) {
+            bool improved = true;
+            while (improved) {
+                improved = false;
+                static constexpr std::array<std::array<int, 2>, 4> dirs = {
+                    {{1, 0}, {-1, 0}, {0, 1}, {0, -1}}};
+                Candidate local = best;
+                for (const auto &d : dirs) {
+                    const int dx = best.dx + d[0] * step;
+                    const int dy = best.dy + d[1] * step;
+                    if (std::abs(dx - cx) > range ||
+                        std::abs(dy - cy) > range) {
+                        continue;
+                    }
+                    const uint32_t cost = integerCost(src, ref, x, y, n, dx,
+                                                      dy, pred, mv_cost_bias);
+                    if (cost < local.cost)
+                        local = {dx, dy, cost};
+                }
+                if (local.cost < best.cost) {
+                    best = local;
+                    improved = true;
+                }
+            }
+            step /= 2;
+        }
+    }
+
+    // Half-pel refinement around the best integer vector.
+    uint8_t cur[64 * 64];
+    uint8_t predicted[64 * 64];
+    WSVA_ASSERT(n <= 64, "search block too large");
+    extractBlock(src, x, y, n, cur);
+
+    Mv best_mv{static_cast<int16_t>(best.dx * 2),
+               static_cast<int16_t>(best.dy * 2)};
+    motionCompensate(ref, x, y, n, best_mv, predicted);
+    uint32_t best_cost =
+        blockSad(cur, predicted, n) + mvCost(best_mv, pred, mv_cost_bias);
+
+    for (int dy = -1; dy <= 1; ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+            if (dx == 0 && dy == 0)
+                continue;
+            const Mv mv{static_cast<int16_t>(best.dx * 2 + dx),
+                        static_cast<int16_t>(best.dy * 2 + dy)};
+            motionCompensate(ref, x, y, n, mv, predicted);
+            const uint32_t cost = blockSad(cur, predicted, n) +
+                                  mvCost(mv, pred, mv_cost_bias);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_mv = mv;
+            }
+        }
+    }
+
+    // Report the pure SAD at the chosen vector (the bias is a search
+    // heuristic, not part of the result).
+    motionCompensate(ref, x, y, n, best_mv, predicted);
+    return {best_mv, blockSad(cur, predicted, n)};
+}
+
+} // namespace wsva::video::codec

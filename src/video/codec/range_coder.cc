@@ -1,0 +1,145 @@
+#include "video/codec/range_coder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+namespace {
+
+constexpr uint32_t kTopValue = 1u << 24;
+
+/** Cost table: cost256[p] = -256 * log2(p / 256) for p in [1, 255]. */
+const uint32_t *
+costTable()
+{
+    static uint32_t table[256];
+    static const bool init = [] {
+        table[0] = 256 * 16; // Unused; p == 0 is invalid.
+        for (int p = 1; p < 256; ++p) {
+            table[p] = static_cast<uint32_t>(
+                std::lround(-256.0 * std::log2(p / 256.0)));
+        }
+        return true;
+    }();
+    (void)init;
+    return table;
+}
+
+} // namespace
+
+uint32_t
+probCost(Prob p, int bit)
+{
+    const uint32_t *t = costTable();
+    return bit ? t[256 - p] : t[p];
+}
+
+RangeEncoder::RangeEncoder() = default;
+
+void
+RangeEncoder::shiftLow()
+{
+    if (low_ < 0xff000000ULL || low_ > 0xffffffffULL) {
+        const auto carry = static_cast<uint8_t>(low_ >> 32);
+        if (!first_)
+            buf_.push_back(static_cast<uint8_t>(cache_ + carry));
+        else
+            buf_.push_back(carry); // Structural first byte (0 or carry).
+        first_ = false;
+        while (pending_ > 0) {
+            buf_.push_back(static_cast<uint8_t>(0xff + carry));
+            --pending_;
+        }
+        cache_ = static_cast<uint8_t>(low_ >> 24);
+    } else {
+        ++pending_;
+    }
+    low_ = (low_ << 8) & 0xffffffffULL;
+}
+
+void
+RangeEncoder::encodeBit(Prob p, int bit)
+{
+    WSVA_ASSERT(p >= 1, "probability must be in [1, 255]");
+    const uint32_t split =
+        static_cast<uint32_t>((static_cast<uint64_t>(range_) * p) >> 8);
+    WSVA_ASSERT(split >= 1 && split < range_, "degenerate split");
+    if (bit == 0) {
+        range_ = split;
+    } else {
+        low_ += split;
+        range_ -= split;
+    }
+    cost_units_ += probCost(p, bit);
+    while (range_ < kTopValue) {
+        shiftLow();
+        range_ <<= 8;
+    }
+}
+
+void
+RangeEncoder::encodeLiteral(uint32_t value, int count)
+{
+    WSVA_ASSERT(count >= 0 && count <= 32, "bad literal width %d", count);
+    for (int i = count - 1; i >= 0; --i)
+        encodeBit(128, static_cast<int>((value >> i) & 1));
+}
+
+std::vector<uint8_t>
+RangeEncoder::finish()
+{
+    for (int i = 0; i < 5; ++i)
+        shiftLow();
+    return std::move(buf_);
+}
+
+RangeDecoder::RangeDecoder(const uint8_t *data, size_t size)
+    : data_(data), size_(size)
+{
+    // Consume the structural first byte, then load 4 code bytes.
+    nextByte();
+    for (int i = 0; i < 4; ++i)
+        code_ = (code_ << 8) | nextByte();
+}
+
+uint8_t
+RangeDecoder::nextByte()
+{
+    if (pos_ < size_)
+        return data_[pos_++];
+    return 0;
+}
+
+int
+RangeDecoder::decodeBit(Prob p)
+{
+    const uint32_t split =
+        static_cast<uint32_t>((static_cast<uint64_t>(range_) * p) >> 8);
+    int bit;
+    if (code_ < split) {
+        bit = 0;
+        range_ = split;
+    } else {
+        bit = 1;
+        code_ -= split;
+        range_ -= split;
+    }
+    while (range_ < kTopValue) {
+        code_ = (code_ << 8) | nextByte();
+        range_ <<= 8;
+    }
+    return bit;
+}
+
+uint32_t
+RangeDecoder::decodeLiteral(int count)
+{
+    uint32_t v = 0;
+    for (int i = 0; i < count; ++i)
+        v = (v << 1) | static_cast<uint32_t>(decodeBit(128));
+    return v;
+}
+
+} // namespace wsva::video::codec

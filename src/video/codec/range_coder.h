@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary arithmetic (range) coder.
+ *
+ * The VP9-like profile codes every syntax element as a sequence of
+ * binary decisions against 8-bit probabilities, like VP8/VP9's
+ * boolean coder. The renormalization uses the LZMA shift-low scheme,
+ * which handles carry propagation with a cache byte + pending-0xFF
+ * counter and is easy to prove correct. The first output byte is a
+ * structural zero that the decoder consumes during initialization.
+ *
+ * Probability convention: an 8-bit value p in [1, 255] is the
+ * probability that the coded bit is 0, in units of 1/256.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_RANGE_CODER_H
+#define WSVA_VIDEO_CODEC_RANGE_CODER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsva::video::codec {
+
+/** Probability that a bit is 0, in 1/256 units; valid range [1, 255]. */
+using Prob = uint8_t;
+
+/** Cost in 1/256-bit units of coding @p bit against probability @p p. */
+uint32_t probCost(Prob p, int bit);
+
+/** Arithmetic encoder producing a byte buffer. */
+class RangeEncoder
+{
+  public:
+    RangeEncoder();
+
+    /** Encode one bit against probability @p p (of the bit being 0). */
+    void encodeBit(Prob p, int bit);
+
+    /** Encode @p count equiprobable bits, MSB first. */
+    void encodeLiteral(uint32_t value, int count);
+
+    /** Finish the stream and return the bytes. */
+    std::vector<uint8_t> finish();
+
+    /** Exact accumulated cost so far in 1/256-bit units. */
+    uint64_t costUnits() const { return cost_units_; }
+
+  private:
+    void shiftLow();
+
+    std::vector<uint8_t> buf_;
+    uint64_t low_ = 0;
+    uint32_t range_ = 0xffffffffu;
+    uint8_t cache_ = 0;
+    uint64_t pending_ = 0;
+    bool first_ = true;
+    uint64_t cost_units_ = 0;
+};
+
+/** Arithmetic decoder over a byte buffer. */
+class RangeDecoder
+{
+  public:
+    RangeDecoder(const uint8_t *data, size_t size);
+
+    explicit RangeDecoder(const std::vector<uint8_t> &data)
+        : RangeDecoder(data.data(), data.size()) {}
+
+    /** Decode one bit against probability @p p (of the bit being 0). */
+    int decodeBit(Prob p);
+
+    /** Decode @p count equiprobable bits, MSB first. */
+    uint32_t decodeLiteral(int count);
+
+  private:
+    uint8_t nextByte();
+
+    const uint8_t *data_;
+    size_t size_;
+    size_t pos_ = 0;
+    uint32_t code_ = 0;
+    uint32_t range_ = 0xffffffffu;
+};
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_RANGE_CODER_H

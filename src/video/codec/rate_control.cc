@@ -1,0 +1,233 @@
+#include "video/codec/rate_control.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "video/codec/mc.h"
+#include "video/codec/transform.h"
+
+namespace wsva::video::codec {
+
+namespace {
+
+constexpr int kBlock = 16;
+
+/** Mean per-pixel DC-intra SAD of one luma frame. */
+void
+frameCosts(const Frame &cur, const Frame *prev, double &intra_cost,
+           double &inter_cost)
+{
+    const Plane &y = cur.y();
+    uint64_t intra_acc = 0;
+    uint64_t inter_acc = 0;
+    uint64_t pixels = 0;
+    uint8_t block[kBlock * kBlock];
+
+    for (int by = 0; by + kBlock <= y.height(); by += kBlock) {
+        for (int bx = 0; bx + kBlock <= y.width(); bx += kBlock) {
+            extractBlock(y, bx, by, kBlock, block);
+            uint32_t sum = 0;
+            for (auto px : block)
+                sum += px;
+            const auto mean = static_cast<uint8_t>(
+                (sum + kBlock * kBlock / 2) / (kBlock * kBlock));
+            uint32_t isad = 0;
+            for (auto px : block)
+                isad += static_cast<uint32_t>(
+                    std::abs(static_cast<int>(px) - mean));
+            intra_acc += isad;
+
+            if (prev != nullptr) {
+                // Small 3-step search around zero motion.
+                uint32_t best = sadAt(y, prev->y(), bx, by, kBlock, 0, 0);
+                for (int step = 4; step >= 1; step /= 2) {
+                    static constexpr int dirs[4][2] = {
+                        {1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+                    for (const auto &d : dirs) {
+                        const uint32_t s = sadAt(y, prev->y(), bx, by,
+                                                 kBlock, d[0] * step,
+                                                 d[1] * step);
+                        best = std::min(best, s);
+                    }
+                }
+                inter_acc += best;
+            }
+            pixels += kBlock * kBlock;
+        }
+    }
+    if (pixels == 0)
+        pixels = 1;
+    intra_cost = static_cast<double>(intra_acc) /
+                 static_cast<double>(pixels);
+    inter_cost = prev != nullptr
+        ? static_cast<double>(inter_acc) / static_cast<double>(pixels)
+        : intra_cost;
+}
+
+} // namespace
+
+FirstPassStats
+runFirstPass(const std::vector<Frame> &frames)
+{
+    FirstPassStats stats;
+    stats.reserve(frames.size());
+    for (size_t i = 0; i < frames.size(); ++i) {
+        FirstPassFrameStats s;
+        const Frame *prev = i > 0 ? &frames[i - 1] : nullptr;
+        frameCosts(frames[i], prev, s.intra_cost, s.inter_cost);
+        s.complexity = std::max(0.25, std::min(s.intra_cost, s.inter_cost));
+        s.scene_cut = prev != nullptr &&
+                      s.inter_cost > 2.0 * s.intra_cost + 4.0;
+        stats.push_back(s);
+    }
+    return stats;
+}
+
+RateController::RateController(const EncoderConfig &cfg,
+                               FirstPassStats stats, Tuning tuning)
+    : cfg_(cfg), stats_(std::move(stats)), tuning_(tuning),
+      k_(0.15), // Initial guess; adapted from outcomes when enabled.
+      per_frame_budget_(cfg.fps > 0 ? cfg.target_bitrate_bps / cfg.fps : 0),
+      buffer_(0.0), ewma_complexity_(4.0), last_qp_(cfg.base_qp)
+{
+    const bool needs_stats = cfg.rc_mode == RcMode::TwoPassLagged ||
+                             cfg.rc_mode == RcMode::TwoPassOffline;
+    WSVA_ASSERT(!needs_stats || !stats_.empty(),
+                "two-pass rate control requires first-pass stats");
+    WSVA_ASSERT(cfg.rc_mode == RcMode::ConstQp ||
+                    cfg.target_bitrate_bps > 0,
+                "rate-controlled encode needs a target bitrate");
+}
+
+double
+RateController::frameComplexity(int display_idx) const
+{
+    // One-pass encoding has no analysis of the current frame: it only
+    // knows the trailing average. The two-pass modes may consult the
+    // first-pass statistics (low-latency two-pass knows the current
+    // frame; lagged/offline know the future too).
+    if (cfg_.rc_mode != RcMode::OnePass && display_idx >= 0 &&
+        display_idx < static_cast<int>(stats_.size())) {
+        return stats_[static_cast<size_t>(display_idx)].complexity;
+    }
+    return ewma_complexity_;
+}
+
+double
+RateController::targetBits(int display_idx, FrameType type)
+{
+    const double exponent = tuning_.complexity_exponent;
+    auto weight = [&](double complexity, bool key) {
+        double w = std::pow(std::max(0.25, complexity), exponent);
+        if (key)
+            w *= tuning_.keyframe_boost;
+        return w;
+    };
+
+    double target = per_frame_budget_;
+    switch (cfg_.rc_mode) {
+      case RcMode::ConstQp:
+        return 0.0;
+      case RcMode::OnePass:
+      case RcMode::TwoPassLowLatency: {
+        // Past-only information: scale the steady-state budget by the
+        // ratio of this frame's complexity to the trailing average.
+        const double c = frameComplexity(display_idx);
+        const double rel = c / std::max(0.25, ewma_complexity_);
+        target = per_frame_budget_ * std::clamp(rel, 0.5, 2.0);
+        if (type == FrameType::Key)
+            target *= tuning_.keyframe_boost;
+        break;
+      }
+      case RcMode::TwoPassLagged:
+      case RcMode::TwoPassOffline: {
+        const int n = static_cast<int>(stats_.size());
+        int lo = 0;
+        int hi = n;
+        if (cfg_.rc_mode == RcMode::TwoPassLagged) {
+            lo = display_idx;
+            hi = std::min(n, display_idx + std::max(1, cfg_.lag_frames));
+        }
+        double total_weight = 0.0;
+        for (int i = lo; i < hi; ++i) {
+            const bool key = i % std::max(1, cfg_.gop_length) == 0;
+            total_weight +=
+                weight(stats_[static_cast<size_t>(i)].complexity, key);
+        }
+        const double window_budget = per_frame_budget_ * (hi - lo);
+        const bool this_key = type == FrameType::Key;
+        const double w = weight(frameComplexity(display_idx), this_key);
+        target = total_weight > 0 ? window_budget * w / total_weight
+                                  : per_frame_budget_;
+        break;
+      }
+    }
+
+    // Leaky-bucket correction: spend savings, recover overdraft.
+    target -= 0.15 * buffer_;
+    return std::max(64.0, target);
+}
+
+int
+RateController::qpForTarget(double target_bits, double complexity) const
+{
+    const auto pixels =
+        static_cast<double>(cfg_.width) * static_cast<double>(cfg_.height);
+    const double needed_qstep =
+        k_ * pixels * std::max(0.25, complexity) / target_bits;
+    const double qp_real =
+        8.0 * std::log2(std::max(0.9, needed_qstep) / 0.9);
+    return std::clamp(static_cast<int>(std::lround(qp_real)), 2, kMaxQp);
+}
+
+int
+RateController::pickQp(int display_idx, FrameType type)
+{
+    if (cfg_.rc_mode == RcMode::ConstQp) {
+        int qp = cfg_.base_qp;
+        if (type == FrameType::Key)
+            qp -= 4;
+        if (type == FrameType::AltRef)
+            qp -= 6;
+        return std::clamp(qp, 0, kMaxQp);
+    }
+
+    const double target = targetBits(display_idx, type);
+    const double c = frameComplexity(display_idx);
+    int qp = qpForTarget(target, c);
+
+    // Smooth QP between consecutive frames except across keyframes.
+    if (type != FrameType::Key && have_encoded_)
+        qp = std::clamp(qp, last_qp_ - 4, last_qp_ + 4);
+    if (type == FrameType::AltRef)
+        qp = std::max(0, qp - 6);
+    return std::clamp(qp, 2, kMaxQp);
+}
+
+void
+RateController::onFrameEncoded(int display_idx, FrameType type, int qp_used,
+                               double bits)
+{
+    const double c = frameComplexity(display_idx);
+    if (type != FrameType::AltRef) {
+        ewma_complexity_ = 0.9 * ewma_complexity_ + 0.1 * c;
+        last_qp_ = qp_used;
+        have_encoded_ = true;
+    }
+    if (cfg_.rc_mode == RcMode::ConstQp)
+        return;
+
+    buffer_ += bits - per_frame_budget_;
+
+    if (tuning_.adapt_rate_model && bits > 0) {
+        const auto pixels = static_cast<double>(cfg_.width) *
+                            static_cast<double>(cfg_.height);
+        const double implied_k =
+            bits * qstep(qp_used) / (pixels * std::max(0.25, c));
+        // Conservative exponential update keeps the model stable.
+        k_ = std::clamp(0.8 * k_ + 0.2 * implied_k, 0.005, 10.0);
+    }
+}
+
+} // namespace wsva::video::codec

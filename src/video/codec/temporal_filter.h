@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Motion-aligned temporal filtering for alternate reference frames.
+ *
+ * Reproduces the VCU encoder-core feature (Section 3.2): 16x16 blocks
+ * from neighboring frames are motion-aligned to the center frame and
+ * blended, producing a synthetic, low-noise frame that is encoded as
+ * a non-displayable alternate reference (VP9-profile only). The
+ * filter can be applied iteratively to cover more than 3 frames.
+ */
+
+#ifndef WSVA_VIDEO_CODEC_TEMPORAL_FILTER_H
+#define WSVA_VIDEO_CODEC_TEMPORAL_FILTER_H
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace wsva::video::codec {
+
+/**
+ * Temporally filter @p frames around index @p center (uses up to one
+ * neighbor on each side per application, as the VCU filters 3 frames
+ * at a time).
+ *
+ * @param strength Blend weight of the neighbors relative to the
+ *        center block (0 = no filtering, 2 = default paper-like
+ *        2:1:1 weighting).
+ * @param iterations Apply the 3-frame filter this many times,
+ *        widening the effective temporal support.
+ */
+Frame temporalFilter(const std::vector<Frame> &frames, int center,
+                     int strength = 2, int iterations = 1);
+
+} // namespace wsva::video::codec
+
+#endif // WSVA_VIDEO_CODEC_TEMPORAL_FILTER_H

@@ -1,0 +1,193 @@
+#include "video/codec/transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::video::codec {
+
+namespace {
+
+constexpr int kBasisBits = 13; //!< Fixed-point scale of the DCT basis.
+
+/** Integer DCT-II basis matrix, scaled by 2^kBasisBits. */
+struct DctTables
+{
+    int32_t basis[kTxSize][kTxSize];
+    int32_t dequant[kMaxQp + 1];
+    int64_t quant_scale[kMaxQp + 1]; //!< round(2^20 / dequant).
+
+    DctTables()
+    {
+        for (int u = 0; u < kTxSize; ++u) {
+            const double a = u == 0 ? std::sqrt(1.0 / kTxSize)
+                                    : std::sqrt(2.0 / kTxSize);
+            for (int k = 0; k < kTxSize; ++k) {
+                const double v =
+                    a * std::cos((2 * k + 1) * u * M_PI / (2.0 * kTxSize));
+                basis[u][k] = static_cast<int32_t>(
+                    std::lround(v * (1 << kBasisBits)));
+            }
+        }
+        for (int qp = 0; qp <= kMaxQp; ++qp) {
+            const double step = qstep(qp);
+            dequant[qp] = std::max(1,
+                static_cast<int>(std::lround(step)));
+            quant_scale[qp] = static_cast<int64_t>(
+                std::lround((1 << 20) / static_cast<double>(dequant[qp])));
+        }
+    }
+};
+
+const DctTables &
+tables()
+{
+    static const DctTables t;
+    return t;
+}
+
+} // namespace
+
+double
+qstep(int qp)
+{
+    WSVA_ASSERT(qp >= 0 && qp <= kMaxQp, "qp %d out of range", qp);
+    return 0.9 * std::exp2(static_cast<double>(qp) / 8.0);
+}
+
+void
+forwardDct(const ResidualBlock &in, std::array<int32_t, kTxCoeffs> &out)
+{
+    const auto &t = tables();
+    // Stage 1: rows transformed by basis^T -> tmp[u][col].
+    int32_t tmp[kTxSize][kTxSize];
+    for (int u = 0; u < kTxSize; ++u) {
+        for (int col = 0; col < kTxSize; ++col) {
+            int64_t acc = 0;
+            for (int k = 0; k < kTxSize; ++k)
+                acc += static_cast<int64_t>(t.basis[u][k]) *
+                       in[static_cast<size_t>(k * kTxSize + col)];
+            // Keep stage-1 results at basis scale but bounded.
+            tmp[u][col] = static_cast<int32_t>(acc >> 6);
+        }
+    }
+    // Stage 2: columns; final shift removes both basis scales.
+    constexpr int shift = 2 * kBasisBits - 6;
+    constexpr int64_t round = 1LL << (shift - 1);
+    for (int u = 0; u < kTxSize; ++u) {
+        for (int v = 0; v < kTxSize; ++v) {
+            int64_t acc = 0;
+            for (int k = 0; k < kTxSize; ++k)
+                acc += static_cast<int64_t>(t.basis[v][k]) * tmp[u][k];
+            out[static_cast<size_t>(u * kTxSize + v)] =
+                static_cast<int32_t>((acc + round) >> shift);
+        }
+    }
+}
+
+void
+inverseDct(const std::array<int32_t, kTxCoeffs> &in, ResidualBlock &out)
+{
+    const auto &t = tables();
+    int32_t tmp[kTxSize][kTxSize];
+    // Stage 1: x[k][v] = sum_u basis[u][k] * X[u][v].
+    for (int k = 0; k < kTxSize; ++k) {
+        for (int v = 0; v < kTxSize; ++v) {
+            int64_t acc = 0;
+            for (int u = 0; u < kTxSize; ++u)
+                acc += static_cast<int64_t>(t.basis[u][k]) *
+                       in[static_cast<size_t>(u * kTxSize + v)];
+            tmp[k][v] = static_cast<int32_t>(acc >> 6);
+        }
+    }
+    constexpr int shift = 2 * kBasisBits - 6;
+    constexpr int64_t round = 1LL << (shift - 1);
+    for (int k = 0; k < kTxSize; ++k) {
+        for (int l = 0; l < kTxSize; ++l) {
+            int64_t acc = 0;
+            for (int v = 0; v < kTxSize; ++v)
+                acc += static_cast<int64_t>(t.basis[v][l]) * tmp[k][v];
+            const auto value = static_cast<int32_t>((acc + round) >> shift);
+            out[static_cast<size_t>(k * kTxSize + l)] =
+                static_cast<int16_t>(std::clamp(value, -32768, 32767));
+        }
+    }
+}
+
+void
+quantize(const std::array<int32_t, kTxCoeffs> &coeffs, int qp,
+         double deadzone, CoeffBlock &out)
+{
+    const auto &t = tables();
+    const int64_t scale = t.quant_scale[qp];
+    const auto offset = static_cast<int64_t>(deadzone * (1 << 20));
+    for (size_t i = 0; i < kTxCoeffs; ++i) {
+        const int32_t c = coeffs[i];
+        const int64_t mag = std::abs(static_cast<int64_t>(c));
+        const int64_t level = (mag * scale + offset) >> 20;
+        const auto clamped =
+            static_cast<int16_t>(std::min<int64_t>(level, 32767));
+        out[i] = c < 0 ? static_cast<int16_t>(-clamped) : clamped;
+    }
+}
+
+void
+dequantize(const CoeffBlock &levels, int qp,
+           std::array<int32_t, kTxCoeffs> &out)
+{
+    const auto &t = tables();
+    const int32_t dq = t.dequant[qp];
+    for (size_t i = 0; i < kTxCoeffs; ++i)
+        out[i] = static_cast<int32_t>(levels[i]) * dq;
+}
+
+const std::array<int, kTxCoeffs> &
+zigzagOrder()
+{
+    static const std::array<int, kTxCoeffs> order = [] {
+        std::array<int, kTxCoeffs> o{};
+        int idx = 0;
+        for (int s = 0; s < 2 * kTxSize - 1; ++s) {
+            if (s % 2 == 0) {
+                // Walk up-right on even diagonals.
+                for (int y = std::min(s, kTxSize - 1);
+                     y >= std::max(0, s - kTxSize + 1); --y) {
+                    o[static_cast<size_t>(idx++)] = y * kTxSize + (s - y);
+                }
+            } else {
+                for (int x = std::min(s, kTxSize - 1);
+                     x >= std::max(0, s - kTxSize + 1); --x) {
+                    o[static_cast<size_t>(idx++)] = (s - x) * kTxSize + x;
+                }
+            }
+        }
+        return o;
+    }();
+    return order;
+}
+
+int
+transformQuantize(const ResidualBlock &residual, int qp, double deadzone,
+                  CoeffBlock &levels, ResidualBlock &recon_residual)
+{
+    std::array<int32_t, kTxCoeffs> freq;
+    forwardDct(residual, freq);
+    quantize(freq, qp, deadzone, levels);
+    reconstructResidual(levels, qp, recon_residual);
+    int nonzero = 0;
+    for (auto l : levels)
+        nonzero += l != 0;
+    return nonzero;
+}
+
+void
+reconstructResidual(const CoeffBlock &levels, int qp,
+                    ResidualBlock &recon_residual)
+{
+    std::array<int32_t, kTxCoeffs> freq;
+    dequantize(levels, qp, freq);
+    inverseDct(freq, recon_residual);
+}
+
+} // namespace wsva::video::codec

@@ -1,0 +1,65 @@
+#include "video/frame.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::video {
+
+Plane::Plane(int width, int height, uint8_t fill)
+    : width_(width), height_(height),
+      data_(static_cast<size_t>(width) * static_cast<size_t>(height), fill)
+{
+    WSVA_ASSERT(width > 0 && height > 0, "plane dimensions must be positive");
+}
+
+uint8_t
+Plane::clampedAt(int x, int y) const
+{
+    x = std::clamp(x, 0, width_ - 1);
+    y = std::clamp(y, 0, height_ - 1);
+    return at(x, y);
+}
+
+void
+Plane::fill(uint8_t value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Frame::Frame(int width, int height, uint8_t luma_fill)
+    : y_(width, height, luma_fill),
+      u_(width / 2, height / 2, 128),
+      v_(width / 2, height / 2, 128)
+{
+    WSVA_ASSERT(width % 2 == 0 && height % 2 == 0,
+                "4:2:0 frames need even dimensions, got %dx%d", width,
+                height);
+}
+
+Plane &
+Frame::plane(int i)
+{
+    switch (i) {
+      case 0: return y_;
+      case 1: return u_;
+      case 2: return v_;
+      default: panic("bad plane index %d", i);
+    }
+}
+
+const Plane &
+Frame::plane(int i) const
+{
+    return const_cast<Frame *>(this)->plane(i);
+}
+
+bool
+Frame::valid() const
+{
+    return y_.width() > 0 && y_.height() > 0 &&
+           u_.width() == y_.width() / 2 && u_.height() == y_.height() / 2 &&
+           v_.width() == u_.width() && v_.height() == u_.height();
+}
+
+} // namespace wsva::video

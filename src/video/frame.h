@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Raw video frame representation: 8-bit planar YUV 4:2:0.
+ *
+ * Frames are the interchange type between the decoder, scaler,
+ * temporal filter, encoder, and quality metrics. Dimensions must be
+ * even (4:2:0 chroma subsampling halves both axes).
+ */
+
+#ifndef WSVA_VIDEO_FRAME_H
+#define WSVA_VIDEO_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wsva::video {
+
+/** One 8-bit image plane with edge-clamped sampling helpers. */
+class Plane
+{
+  public:
+    Plane() = default;
+
+    /** Construct a plane of the given size filled with @p fill. */
+    Plane(int width, int height, uint8_t fill = 0);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    /** Mutable pixel access; (x, y) must be in bounds. */
+    uint8_t &at(int x, int y) { return data_[idx(x, y)]; }
+
+    /** Const pixel access; (x, y) must be in bounds. */
+    uint8_t at(int x, int y) const { return data_[idx(x, y)]; }
+
+    /** Pixel access with coordinates clamped to the plane edges. */
+    uint8_t clampedAt(int x, int y) const;
+
+    /** Raw row pointer. */
+    uint8_t *row(int y) { return data_.data() + idx(0, y); }
+    const uint8_t *row(int y) const { return data_.data() + idx(0, y); }
+
+    /** Fill the whole plane with one value. */
+    void fill(uint8_t value);
+
+    /** Number of pixels. */
+    size_t pixelCount() const { return data_.size(); }
+
+    /** Underlying storage (raster order, no padding). */
+    const std::vector<uint8_t> &data() const { return data_; }
+    std::vector<uint8_t> &data() { return data_; }
+
+    bool operator==(const Plane &other) const = default;
+
+  private:
+    size_t idx(int x, int y) const
+    {
+        return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+               static_cast<size_t>(x);
+    }
+
+    int width_ = 0;
+    int height_ = 0;
+    std::vector<uint8_t> data_;
+};
+
+/** A YUV 4:2:0 frame. */
+class Frame
+{
+  public:
+    Frame() = default;
+
+    /**
+     * Construct a frame of the given luma dimensions (must be even),
+     * with luma filled with @p luma_fill and chroma neutral (128).
+     */
+    Frame(int width, int height, uint8_t luma_fill = 0);
+
+    int width() const { return y_.width(); }
+    int height() const { return y_.height(); }
+
+    /** Luma pixel count (the unit for Mpix/s accounting). */
+    uint64_t pixelCount() const
+    {
+        return static_cast<uint64_t>(width()) *
+               static_cast<uint64_t>(height());
+    }
+
+    Plane &y() { return y_; }
+    const Plane &y() const { return y_; }
+    Plane &u() { return u_; }
+    const Plane &u() const { return u_; }
+    Plane &v() { return v_; }
+    const Plane &v() const { return v_; }
+
+    /** Plane access by index: 0 = Y, 1 = U, 2 = V. */
+    Plane &plane(int i);
+    const Plane &plane(int i) const;
+
+    /** True if dimensions are set and consistent for 4:2:0. */
+    bool valid() const;
+
+    bool operator==(const Frame &other) const = default;
+
+  private:
+    Plane y_;
+    Plane u_;
+    Plane v_;
+};
+
+/** Uncompressed in-memory size of a 4:2:0 frame in bytes (1.5 B/pixel). */
+inline uint64_t
+rawFrameBytes(int width, int height)
+{
+    return static_cast<uint64_t>(width) * static_cast<uint64_t>(height) *
+           3ULL / 2ULL;
+}
+
+} // namespace wsva::video
+
+#endif // WSVA_VIDEO_FRAME_H

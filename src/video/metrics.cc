@@ -1,0 +1,157 @@
+#include "video/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::video {
+
+double
+planeMse(const Plane &a, const Plane &b)
+{
+    WSVA_ASSERT(a.width() == b.width() && a.height() == b.height(),
+                "MSE of mismatched planes %dx%d vs %dx%d", a.width(),
+                a.height(), b.width(), b.height());
+    uint64_t acc = 0;
+    const auto &da = a.data();
+    const auto &db = b.data();
+    for (size_t i = 0; i < da.size(); ++i) {
+        int d = static_cast<int>(da[i]) - static_cast<int>(db[i]);
+        acc += static_cast<uint64_t>(d * d);
+    }
+    return static_cast<double>(acc) / static_cast<double>(da.size());
+}
+
+double
+frameMse(const Frame &a, const Frame &b)
+{
+    // Weight planes by pixel count: Y has 4x the samples of each of
+    // U and V in 4:2:0, giving the usual 4:1:1 weighting.
+    double y = planeMse(a.y(), b.y());
+    double u = planeMse(a.u(), b.u());
+    double v = planeMse(a.v(), b.v());
+    return (4.0 * y + u + v) / 6.0;
+}
+
+double
+psnrFromMse(double mse)
+{
+    if (mse <= 0.0)
+        return 100.0;
+    return std::min(100.0, 10.0 * std::log10(255.0 * 255.0 / mse));
+}
+
+double
+framePsnr(const Frame &a, const Frame &b)
+{
+    return psnrFromMse(frameMse(a, b));
+}
+
+double
+sequencePsnr(const std::vector<Frame> &ref, const std::vector<Frame> &test)
+{
+    WSVA_ASSERT(ref.size() == test.size() && !ref.empty(),
+                "sequence PSNR needs equal-length, non-empty sequences");
+    double mse = 0.0;
+    for (size_t i = 0; i < ref.size(); ++i)
+        mse += frameMse(ref[i], test[i]);
+    return psnrFromMse(mse / static_cast<double>(ref.size()));
+}
+
+namespace {
+
+/**
+ * Least-squares cubic fit y(x) = c0 + c1 x + c2 x^2 + c3 x^3 via the
+ * normal equations with Gaussian elimination (4x4, partial pivoting).
+ */
+std::array<double, 4>
+cubicFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    constexpr int n = 4;
+    double ata[n][n] = {};
+    double atb[n] = {};
+    for (size_t k = 0; k < xs.size(); ++k) {
+        double powers[n] = {1.0, xs[k], xs[k] * xs[k],
+                            xs[k] * xs[k] * xs[k]};
+        for (int i = 0; i < n; ++i) {
+            atb[i] += powers[i] * ys[k];
+            for (int j = 0; j < n; ++j)
+                ata[i][j] += powers[i] * powers[j];
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int r = col + 1; r < n; ++r) {
+            if (std::fabs(ata[r][col]) > std::fabs(ata[pivot][col]))
+                pivot = r;
+        }
+        std::swap(ata[col], ata[pivot]);
+        std::swap(atb[col], atb[pivot]);
+        WSVA_ASSERT(std::fabs(ata[col][col]) > 1e-12,
+                    "singular system in BD-rate cubic fit");
+        for (int r = col + 1; r < n; ++r) {
+            double f = ata[r][col] / ata[col][col];
+            for (int c = col; c < n; ++c)
+                ata[r][c] -= f * ata[col][c];
+            atb[r] -= f * atb[col];
+        }
+    }
+    std::array<double, 4> coef{};
+    for (int r = n - 1; r >= 0; --r) {
+        double acc = atb[r];
+        for (int c = r + 1; c < n; ++c)
+            acc -= ata[r][c] * coef[static_cast<size_t>(c)];
+        coef[static_cast<size_t>(r)] = acc / ata[r][r];
+    }
+    return coef;
+}
+
+/** Definite integral of the cubic with coefficients @p c over [a, b]. */
+double
+cubicIntegral(const std::array<double, 4> &c, double a, double b)
+{
+    auto eval = [&](double x) {
+        return c[0] * x + c[1] * x * x / 2.0 + c[2] * x * x * x / 3.0 +
+               c[3] * x * x * x * x / 4.0;
+    };
+    return eval(b) - eval(a);
+}
+
+} // namespace
+
+double
+bdRate(const std::vector<RdPoint> &anchor, const std::vector<RdPoint> &test)
+{
+    WSVA_ASSERT(anchor.size() >= 4 && test.size() >= 4,
+                "BD-rate needs at least 4 points per curve");
+
+    // Fit log10(bitrate) as a cubic in PSNR for both curves.
+    auto split = [](const std::vector<RdPoint> &pts,
+                    std::vector<double> &psnr, std::vector<double> &lrate) {
+        for (const auto &p : pts) {
+            WSVA_ASSERT(p.bitrate_bps > 0.0, "non-positive bitrate");
+            psnr.push_back(p.psnr_db);
+            lrate.push_back(std::log10(p.bitrate_bps));
+        }
+    };
+    std::vector<double> pa, ra, pt, rt;
+    split(anchor, pa, ra);
+    split(test, pt, rt);
+
+    const double lo = std::max(*std::min_element(pa.begin(), pa.end()),
+                               *std::min_element(pt.begin(), pt.end()));
+    const double hi = std::min(*std::max_element(pa.begin(), pa.end()),
+                               *std::max_element(pt.begin(), pt.end()));
+    WSVA_ASSERT(hi > lo, "RD curves do not overlap in PSNR");
+
+    const auto ca = cubicFit(pa, ra);
+    const auto ct = cubicFit(pt, rt);
+    const double avg_diff =
+        (cubicIntegral(ct, lo, hi) - cubicIntegral(ca, lo, hi)) / (hi - lo);
+    return (std::pow(10.0, avg_diff) - 1.0) * 100.0;
+}
+
+} // namespace wsva::video

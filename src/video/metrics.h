@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Objective video quality metrics: MSE, PSNR, rate-distortion points,
+ * and Bjontegaard-delta rate (BD-rate) between two RD curves.
+ */
+
+#ifndef WSVA_VIDEO_METRICS_H
+#define WSVA_VIDEO_METRICS_H
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace wsva::video {
+
+/** Mean squared error between two planes of identical size. */
+double planeMse(const Plane &a, const Plane &b);
+
+/**
+ * Combined YUV MSE with the conventional 4:1:1 plane weighting
+ * (luma dominates; chroma planes are quarter-size).
+ */
+double frameMse(const Frame &a, const Frame &b);
+
+/** PSNR in dB from an MSE over 8-bit samples (capped at 100 dB). */
+double psnrFromMse(double mse);
+
+/** PSNR in dB between two frames. */
+double framePsnr(const Frame &a, const Frame &b);
+
+/** Average PSNR over a sequence (computed on pooled MSE). */
+double sequencePsnr(const std::vector<Frame> &ref,
+                    const std::vector<Frame> &test);
+
+/** One operating point on a rate-distortion curve. */
+struct RdPoint
+{
+    double bitrate_bps; //!< Stream bitrate in bits per second.
+    double psnr_db;     //!< Quality at that bitrate.
+};
+
+/**
+ * Bjontegaard-delta rate between two RD curves: the average bitrate
+ * difference (in percent) of @p test relative to @p anchor at equal
+ * PSNR, computed with the standard cubic fit of log-rate vs PSNR over
+ * the overlapping PSNR interval. Negative values mean @p test needs
+ * fewer bits than @p anchor for the same quality.
+ *
+ * Each curve needs at least four points (the usual BD-rate setup).
+ */
+double bdRate(const std::vector<RdPoint> &anchor,
+              const std::vector<RdPoint> &test);
+
+} // namespace wsva::video
+
+#endif // WSVA_VIDEO_METRICS_H

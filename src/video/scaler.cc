@@ -1,0 +1,140 @@
+#include "video/scaler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::video {
+
+namespace {
+
+/** Area-average downscale of one plane. */
+Plane
+boxDownscale(const Plane &src, int dw, int dh)
+{
+    Plane dst(dw, dh);
+    const double sx = static_cast<double>(src.width()) / dw;
+    const double sy = static_cast<double>(src.height()) / dh;
+    for (int y = 0; y < dh; ++y) {
+        const int y0 = static_cast<int>(std::floor(y * sy));
+        const int y1 = std::max(y0 + 1,
+            static_cast<int>(std::ceil((y + 1) * sy)));
+        for (int x = 0; x < dw; ++x) {
+            const int x0 = static_cast<int>(std::floor(x * sx));
+            const int x1 = std::max(x0 + 1,
+                static_cast<int>(std::ceil((x + 1) * sx)));
+            uint32_t acc = 0;
+            uint32_t n = 0;
+            for (int yy = y0; yy < y1 && yy < src.height(); ++yy) {
+                for (int xx = x0; xx < x1 && xx < src.width(); ++xx) {
+                    acc += src.at(xx, yy);
+                    ++n;
+                }
+            }
+            dst.at(x, y) = static_cast<uint8_t>((acc + n / 2) / n);
+        }
+    }
+    return dst;
+}
+
+/** Bilinear upscale of one plane. */
+Plane
+bilinearUpscale(const Plane &src, int dw, int dh)
+{
+    Plane dst(dw, dh);
+    const double sx = static_cast<double>(src.width()) / dw;
+    const double sy = static_cast<double>(src.height()) / dh;
+    for (int y = 0; y < dh; ++y) {
+        const double fy = (y + 0.5) * sy - 0.5;
+        const int y0 = static_cast<int>(std::floor(fy));
+        const double wy = fy - y0;
+        for (int x = 0; x < dw; ++x) {
+            const double fx = (x + 0.5) * sx - 0.5;
+            const int x0 = static_cast<int>(std::floor(fx));
+            const double wx = fx - x0;
+            const double p00 = src.clampedAt(x0, y0);
+            const double p10 = src.clampedAt(x0 + 1, y0);
+            const double p01 = src.clampedAt(x0, y0 + 1);
+            const double p11 = src.clampedAt(x0 + 1, y0 + 1);
+            const double v = p00 * (1 - wx) * (1 - wy) +
+                             p10 * wx * (1 - wy) +
+                             p01 * (1 - wx) * wy +
+                             p11 * wx * wy;
+            dst.at(x, y) = static_cast<uint8_t>(
+                std::clamp(static_cast<int>(std::lround(v)), 0, 255));
+        }
+    }
+    return dst;
+}
+
+} // namespace
+
+Plane
+scalePlane(const Plane &src, int dst_width, int dst_height)
+{
+    WSVA_ASSERT(dst_width > 0 && dst_height > 0,
+                "bad scale target %dx%d", dst_width, dst_height);
+    if (dst_width == src.width() && dst_height == src.height())
+        return src;
+    if (dst_width <= src.width() && dst_height <= src.height())
+        return boxDownscale(src, dst_width, dst_height);
+    return bilinearUpscale(src, dst_width, dst_height);
+}
+
+Frame
+scaleFrame(const Frame &src, int dst_width, int dst_height)
+{
+    WSVA_ASSERT(dst_width % 2 == 0 && dst_height % 2 == 0,
+                "scale target must be even for 4:2:0, got %dx%d",
+                dst_width, dst_height);
+    Frame out(dst_width, dst_height);
+    out.y() = scalePlane(src.y(), dst_width, dst_height);
+    out.u() = scalePlane(src.u(), dst_width / 2, dst_height / 2);
+    out.v() = scalePlane(src.v(), dst_width / 2, dst_height / 2);
+    return out;
+}
+
+const char *
+resolutionName(Resolution r)
+{
+    switch (r.height) {
+      case 144: return "144p";
+      case 240: return "240p";
+      case 360: return "360p";
+      case 480: return "480p";
+      case 720: return "720p";
+      case 1080: return "1080p";
+      case 1440: return "1440p";
+      case 2160: return "2160p";
+      case 4320: return "4320p";
+      default: return "custom";
+    }
+}
+
+const std::vector<Resolution> &
+standardLadder()
+{
+    static const std::vector<Resolution> ladder = {
+        {256, 144},  {426, 240},   {640, 360},   {854, 480},  {1280, 720},
+        {1920, 1080}, {2560, 1440}, {3840, 2160}, {7680, 4320},
+    };
+    return ladder;
+}
+
+std::vector<Resolution>
+outputsForInput(Resolution input)
+{
+    std::vector<Resolution> out;
+    for (const auto &r : standardLadder()) {
+        if (r.height <= input.height)
+            out.push_back(r);
+    }
+    if (out.empty())
+        out.push_back(standardLadder().front());
+    // Highest resolution first, matching the paper's MOT diagrams.
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace wsva::video

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Frame scaling for multiple-output transcoding (MOT) ladders.
+ *
+ * Downscaling uses an area-average (box) filter, which is the right
+ * choice for the large integer-ish ratios in a 16:9 resolution ladder
+ * (2160p -> 1080p -> ... -> 144p). Upscaling uses bilinear sampling
+ * (only used by tests and quality tooling; production ladders only
+ * scale down).
+ */
+
+#ifndef WSVA_VIDEO_SCALER_H
+#define WSVA_VIDEO_SCALER_H
+
+#include "video/frame.h"
+
+namespace wsva::video {
+
+/** Scale a single plane to the target dimensions. */
+Plane scalePlane(const Plane &src, int dst_width, int dst_height);
+
+/**
+ * Scale a 4:2:0 frame to the target luma dimensions (must be even).
+ * Chroma planes are scaled to half the target dimensions.
+ */
+Frame scaleFrame(const Frame &src, int dst_width, int dst_height);
+
+/** The standard 16:9 output ladder used by the platform. */
+struct Resolution
+{
+    int width;
+    int height;
+
+    bool operator==(const Resolution &other) const = default;
+};
+
+/** Short name like "1080p" for a ladder rung. */
+const char *resolutionName(Resolution r);
+
+/** The conventional 16:9 ladder from 144p up to 4320p. */
+const std::vector<Resolution> &standardLadder();
+
+/**
+ * Output rungs for an input resolution: the input rung and every rung
+ * below it (e.g. a 1080p input yields 1080p, 720p, 480p, 360p, 240p,
+ * 144p), mirroring the paper's MOT structure.
+ */
+std::vector<Resolution> outputsForInput(Resolution input);
+
+} // namespace wsva::video
+
+#endif // WSVA_VIDEO_SCALER_H

@@ -1,0 +1,219 @@
+#include "video/synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace wsva::video {
+
+namespace {
+
+/** Integer lattice hash -> [0, 255]; deterministic across platforms. */
+uint32_t
+hash2d(uint64_t seed, int x, int y)
+{
+    uint64_t h = seed;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(x)) * 0x9e3779b97f4a7c15ULL;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(y)) * 0x94d049bb133111ebULL;
+    h = (h ^ (h >> 27)) * 0x2545f4914f6cdd1dULL;
+    return static_cast<uint32_t>(h >> 32);
+}
+
+/** Smooth value noise at (x, y) with lattice period @p cell. */
+double
+valueNoise(uint64_t seed, double x, double y, int cell)
+{
+    const double gx = x / cell;
+    const double gy = y / cell;
+    const int x0 = static_cast<int>(std::floor(gx));
+    const int y0 = static_cast<int>(std::floor(gy));
+    const double fx = gx - x0;
+    const double fy = gy - y0;
+    // Smoothstep weights avoid visible lattice seams.
+    const double wx = fx * fx * (3 - 2 * fx);
+    const double wy = fy * fy * (3 - 2 * fy);
+    auto v = [&](int ix, int iy) {
+        return static_cast<double>(hash2d(seed, ix, iy) & 0xff);
+    };
+    const double top = v(x0, y0) * (1 - wx) + v(x0 + 1, y0) * wx;
+    const double bot = v(x0, y0 + 1) * (1 - wx) + v(x0 + 1, y0 + 1) * wx;
+    return top * (1 - wy) + bot * wy;
+}
+
+/** Multi-octave texture in [0, 255]. */
+double
+texture(uint64_t seed, double x, double y, int detail)
+{
+    if (detail <= 0)
+        return 128.0;
+    double acc = 0.0;
+    double weight = 0.0;
+    int cell = 64;
+    double amp = 1.0;
+    for (int oct = 0; oct < detail; ++oct) {
+        acc += amp * valueNoise(seed + static_cast<uint64_t>(oct), x, y,
+                                std::max(4, cell));
+        weight += amp;
+        cell /= 2;
+        amp *= 0.6;
+    }
+    return acc / weight;
+}
+
+struct MovingObject
+{
+    double cx;
+    double cy;
+    double vx;
+    double vy;
+    double half_w;
+    double half_h;
+    uint8_t luma;
+    uint8_t cb;
+    uint8_t cr;
+};
+
+std::vector<MovingObject>
+makeObjects(const SynthSpec &spec, uint64_t scene_seed)
+{
+    Rng rng(scene_seed ^ 0x5eedULL);
+    std::vector<MovingObject> objs;
+    objs.reserve(static_cast<size_t>(spec.objects));
+    for (int i = 0; i < spec.objects; ++i) {
+        MovingObject o;
+        o.cx = rng.uniformReal(0.0, spec.width);
+        o.cy = rng.uniformReal(0.0, spec.height);
+        const double angle = rng.uniformReal(0.0, 2 * M_PI);
+        const double speed = rng.uniformReal(0.3, 1.0) * spec.motion;
+        o.vx = std::cos(angle) * speed;
+        o.vy = std::sin(angle) * speed;
+        o.half_w = rng.uniformReal(0.05, 0.15) * spec.width;
+        o.half_h = rng.uniformReal(0.05, 0.15) * spec.height;
+        o.luma = static_cast<uint8_t>(rng.uniformRange(40, 220));
+        o.cb = static_cast<uint8_t>(rng.uniformRange(64, 192));
+        o.cr = static_cast<uint8_t>(rng.uniformRange(64, 192));
+        objs.push_back(o);
+    }
+    return objs;
+}
+
+/** Reflect @p v into [0, limit) with mirror wrapping. */
+double
+mirrorWrap(double v, double limit)
+{
+    if (limit <= 0)
+        return 0;
+    double period = 2 * limit;
+    v = std::fmod(v, period);
+    if (v < 0)
+        v += period;
+    return v < limit ? v : period - v;
+}
+
+} // namespace
+
+Frame
+generateFrameAt(const SynthSpec &spec, int index)
+{
+    WSVA_ASSERT(spec.width % 2 == 0 && spec.height % 2 == 0,
+                "synth frames need even dimensions");
+    WSVA_ASSERT(index >= 0 && index < spec.frame_count,
+                "frame index %d out of range", index);
+
+    // A scene cut reshuffles the texture seed and the object set.
+    int scene = spec.scene_cut_period > 0 ? index / spec.scene_cut_period : 0;
+    int scene_start =
+        spec.scene_cut_period > 0 ? scene * spec.scene_cut_period : 0;
+    const uint64_t scene_seed =
+        spec.seed + static_cast<uint64_t>(scene) * 0x1234567ULL;
+
+    Frame frame(spec.width, spec.height);
+    const double pan = spec.pan_speed * (index - scene_start);
+
+    // Background texture (panned), optionally with screen content rows.
+    for (int y = 0; y < spec.height; ++y) {
+        uint8_t *row = frame.y().row(y);
+        for (int x = 0; x < spec.width; ++x) {
+            double t = texture(scene_seed, x + pan, y, spec.detail);
+            row[x] = static_cast<uint8_t>(std::clamp(t, 0.0, 255.0));
+        }
+    }
+    if (spec.screen_content) {
+        // Text-like rows: high-contrast runs on a light background,
+        // static within a scene (like slides or a desktop).
+        for (int ty = 8; ty + 10 < spec.height; ty += 22) {
+            for (int y = ty; y < ty + 10; ++y) {
+                uint8_t *row = frame.y().row(y);
+                int x = 8;
+                uint64_t h = hash2d(scene_seed, ty, 9999);
+                while (x < spec.width - 8) {
+                    int run = 2 + static_cast<int>(h % 11);
+                    h = h * 6364136223846793005ULL + 1442695040888963407ULL;
+                    bool dark = (h >> 17) & 1;
+                    for (int i = 0; i < run && x < spec.width - 8; ++i, ++x)
+                        row[x] = dark ? 24 : 235;
+                    x += 1 + static_cast<int>((h >> 33) % 4);
+                }
+            }
+        }
+    }
+
+    // Moving foreground objects (position advanced analytically so any
+    // frame can be generated independently).
+    auto objects = makeObjects(spec, scene_seed);
+    const int dt = index - scene_start;
+    for (auto &o : objects) {
+        const double cx = mirrorWrap(o.cx + o.vx * dt, spec.width);
+        const double cy = mirrorWrap(o.cy + o.vy * dt, spec.height);
+        const int x0 = std::max(0, static_cast<int>(cx - o.half_w));
+        const int x1 = std::min(spec.width - 1,
+                                static_cast<int>(cx + o.half_w));
+        const int y0 = std::max(0, static_cast<int>(cy - o.half_h));
+        const int y1 = std::min(spec.height - 1,
+                                static_cast<int>(cy + o.half_h));
+        for (int y = y0; y <= y1; ++y) {
+            for (int x = x0; x <= x1; ++x)
+                frame.y().at(x, y) = o.luma;
+        }
+        for (int y = y0 / 2; y <= y1 / 2; ++y) {
+            for (int x = x0 / 2; x <= x1 / 2; ++x) {
+                frame.u().at(x, y) = o.cb;
+                frame.v().at(x, y) = o.cr;
+            }
+        }
+    }
+
+    // Global flash (holi-style lighting event).
+    if (spec.flash_period > 0 && (index % spec.flash_period) == 0 &&
+        index > 0) {
+        for (auto &px : frame.y().data())
+            px = static_cast<uint8_t>(std::min(255, px + 60));
+    }
+
+    // Per-frame sensor noise, deterministic in (seed, frame index).
+    if (spec.noise_sigma > 0.0) {
+        Rng noise(spec.seed ^ (static_cast<uint64_t>(index) << 20));
+        for (auto &px : frame.y().data()) {
+            int v = px + static_cast<int>(
+                std::lround(noise.normal(0.0, spec.noise_sigma)));
+            px = static_cast<uint8_t>(std::clamp(v, 0, 255));
+        }
+    }
+
+    return frame;
+}
+
+std::vector<Frame>
+generateVideo(const SynthSpec &spec)
+{
+    std::vector<Frame> frames;
+    frames.reserve(static_cast<size_t>(spec.frame_count));
+    for (int i = 0; i < spec.frame_count; ++i)
+        frames.push_back(generateFrameAt(spec, i));
+    return frames;
+}
+
+} // namespace wsva::video

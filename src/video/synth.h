@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Procedural video synthesis.
+ *
+ * The repository has no access to real video corpora, so workloads
+ * are generated procedurally. The generator spans the same content
+ * axes the vbench suite was designed around: spatial detail
+ * (texture), temporal complexity (object and camera motion), screen
+ * content (sharp synthetic edges), sensor noise, and lighting events
+ * (flashes/fades). All output is deterministic in the seed.
+ */
+
+#ifndef WSVA_VIDEO_SYNTH_H
+#define WSVA_VIDEO_SYNTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace wsva::video {
+
+/** Parameters controlling one synthetic clip. */
+struct SynthSpec
+{
+    int width = 320;
+    int height = 180;
+    int frame_count = 30;
+    double fps = 30.0;
+
+    /** Texture octaves: 0 = flat, 3 = very detailed. */
+    int detail = 1;
+
+    /** Moving foreground objects. */
+    int objects = 2;
+
+    /** Peak object speed in pixels per frame. */
+    double motion = 2.0;
+
+    /** Global camera pan in pixels per frame (x axis). */
+    double pan_speed = 0.0;
+
+    /** Gaussian sensor noise sigma (0 = clean). */
+    double noise_sigma = 0.0;
+
+    /** Render text-like high-contrast rows (screen content). */
+    bool screen_content = false;
+
+    /** If > 0, a global brightness flash every this many frames. */
+    int flash_period = 0;
+
+    /** If > 0, a hard scene cut every this many frames. */
+    int scene_cut_period = 0;
+
+    /** Seed for all procedural decisions. */
+    uint64_t seed = 1;
+};
+
+/** Generate a full clip according to @p spec. */
+std::vector<Frame> generateVideo(const SynthSpec &spec);
+
+/** Generate only frame @p index of the clip (streaming use). */
+Frame generateFrameAt(const SynthSpec &spec, int index);
+
+} // namespace wsva::video
+
+#endif // WSVA_VIDEO_SYNTH_H

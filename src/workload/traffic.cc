@@ -1,0 +1,131 @@
+#include "workload/traffic.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace wsva::workload {
+
+using wsva::cluster::makeMotStep;
+using wsva::cluster::makeSotStep;
+using wsva::cluster::TranscodeStep;
+using wsva::cluster::UseCase;
+using wsva::video::Resolution;
+using wsva::video::codec::CodecType;
+using wsva::video::outputsForInput;
+
+UploadTraffic::UploadTraffic(UploadTrafficConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+Resolution
+UploadTraffic::sampleResolution()
+{
+    // Roughly YouTube-shaped upload mix.
+    const double u = rng_.uniformReal();
+    if (u < 0.08)
+        return {854, 480};
+    if (u < 0.18)
+        return {640, 360};
+    if (u < 0.55)
+        return {1280, 720};
+    if (u < 0.90)
+        return {1920, 1080};
+    if (u < 0.97)
+        return {2560, 1440};
+    return {3840, 2160};
+}
+
+std::vector<TranscodeStep>
+UploadTraffic::arrivals(double now, double dt)
+{
+    (void)now;
+    std::vector<TranscodeStep> steps;
+    // Poisson arrivals of whole videos in this window.
+    const double expect = cfg_.uploads_per_second * dt;
+    int uploads = 0;
+    // Knuth-style sampling, robust for small expectations.
+    double l = std::exp(-expect);
+    double p = 1.0;
+    for (;;) {
+        p *= rng_.uniformReal();
+        if (p <= l)
+            break;
+        ++uploads;
+    }
+
+    for (int v = 0; v < uploads; ++v) {
+        const uint64_t video_id = next_video_id_++;
+        const Resolution res = sampleResolution();
+        const double seconds =
+            std::max(5.0, rng_.exponential(1.0 / cfg_.mean_video_seconds));
+        const int chunks = std::max(1,
+            static_cast<int>(seconds * cfg_.fps) / cfg_.chunk_frames);
+        const bool vp9 = rng_.bernoulli(cfg_.vp9_fraction);
+
+        for (int c = 0; c < chunks; ++c) {
+            auto emit = [&](CodecType codec) {
+                if (cfg_.use_mot) {
+                    auto step = makeMotStep(next_step_id_++, video_id, c,
+                                            res, codec);
+                    step.frames = cfg_.chunk_frames;
+                    step.fps = cfg_.fps;
+                    steps.push_back(step);
+                } else {
+                    for (const auto &out : outputsForInput(res)) {
+                        auto step = makeSotStep(next_step_id_++, video_id,
+                                                c, res, out, codec);
+                        step.frames = cfg_.chunk_frames;
+                        step.fps = cfg_.fps;
+                        steps.push_back(step);
+                    }
+                }
+            };
+            emit(CodecType::H264);
+            if (vp9)
+                emit(CodecType::VP9);
+        }
+    }
+    return steps;
+}
+
+wsva::cluster::ArrivalFn
+UploadTraffic::asArrivalFn()
+{
+    return [this](double now, double dt) { return arrivals(now, dt); };
+}
+
+LiveTraffic::LiveTraffic(LiveTrafficConfig cfg) : cfg_(cfg) {}
+
+std::vector<TranscodeStep>
+LiveTraffic::arrivals(double now, double dt)
+{
+    (void)now;
+    std::vector<TranscodeStep> steps;
+    carry_ += dt;
+    while (carry_ >= cfg_.segment_seconds) {
+        carry_ -= cfg_.segment_seconds;
+        for (int s = 0; s < cfg_.concurrent_streams; ++s) {
+            auto step = makeMotStep(
+                next_step_id_++, static_cast<uint64_t>(s), 0,
+                cfg_.resolution,
+                cfg_.vp9 ? CodecType::VP9 : CodecType::H264);
+            step.frames = static_cast<int>(
+                cfg_.segment_seconds * cfg_.fps);
+            step.fps = cfg_.fps;
+            step.use_case = UseCase::Live;
+            step.two_pass = false; // Low-latency path.
+            steps.push_back(step);
+        }
+    }
+    return steps;
+}
+
+wsva::cluster::ArrivalFn
+LiveTraffic::asArrivalFn()
+{
+    return [this](double now, double dt) { return arrivals(now, dt); };
+}
+
+} // namespace wsva::workload

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Production-shaped traffic generators for the cluster simulator:
+ * the upload workload ("hundreds of hours of video every minute",
+ * Section 2.2) with a realistic resolution mix, live streams, and
+ * cloud-gaming sessions.
+ */
+
+#ifndef WSVA_WORKLOAD_TRAFFIC_H
+#define WSVA_WORKLOAD_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/work.h"
+#include "common/rng.h"
+
+namespace wsva::workload {
+
+/** Upload traffic parameters. */
+struct UploadTrafficConfig
+{
+    /** Mean video uploads per simulated second. */
+    double uploads_per_second = 1.0;
+
+    /** Mean video duration in seconds (chunks are 5 s each). */
+    double mean_video_seconds = 40.0;
+
+    /** Chunk length in frames (closed GOP). */
+    int chunk_frames = 150;
+
+    double fps = 30.0;
+
+    /** Fraction of uploads that get VP9 in addition to H.264. */
+    double vp9_fraction = 1.0;
+
+    /** Emit MOT steps (true) or per-rung SOT steps (false). */
+    bool use_mot = true;
+
+    uint64_t seed = 1;
+};
+
+/**
+ * Stateful upload traffic generator. Each upload becomes a set of
+ * chunked MOT (or SOT) steps with a resolution drawn from a
+ * YouTube-like mix (mostly 720p/1080p with 2160p and low-res tails).
+ */
+class UploadTraffic
+{
+  public:
+    explicit UploadTraffic(UploadTrafficConfig cfg);
+
+    /** Steps arriving in a window of @p dt seconds. */
+    std::vector<wsva::cluster::TranscodeStep> arrivals(double now,
+                                                       double dt);
+
+    /** Adapter for ClusterSim::run. */
+    wsva::cluster::ArrivalFn asArrivalFn();
+
+    uint64_t videosGenerated() const { return next_video_id_; }
+
+  private:
+    wsva::video::Resolution sampleResolution();
+
+    UploadTrafficConfig cfg_;
+    wsva::Rng rng_;
+    uint64_t next_video_id_ = 0;
+    uint64_t next_step_id_ = 0;
+};
+
+/** Live streaming traffic: fixed concurrent streams, periodic chunks. */
+struct LiveTrafficConfig
+{
+    int concurrent_streams = 20;
+    double segment_seconds = 2.0; //!< Pre-VCU short chunks.
+    double fps = 30.0;
+    wsva::video::Resolution resolution{1920, 1080};
+    bool vp9 = true;
+    uint64_t seed = 2;
+};
+
+/** Generates one step per stream per elapsed segment. */
+class LiveTraffic
+{
+  public:
+    explicit LiveTraffic(LiveTrafficConfig cfg);
+
+    std::vector<wsva::cluster::TranscodeStep> arrivals(double now,
+                                                       double dt);
+
+    wsva::cluster::ArrivalFn asArrivalFn();
+
+  private:
+    LiveTrafficConfig cfg_;
+    double carry_ = 0.0;
+    uint64_t next_step_id_ = 0;
+};
+
+} // namespace wsva::workload
+
+#endif // WSVA_WORKLOAD_TRAFFIC_H

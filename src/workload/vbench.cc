@@ -1,0 +1,187 @@
+#include "workload/vbench.h"
+
+#include "common/logging.h"
+
+namespace wsva::workload {
+
+using wsva::video::SynthSpec;
+
+namespace {
+
+/** Round to even (4:2:0 requirement). */
+int
+even(int v)
+{
+    return v - (v % 2);
+}
+
+SynthSpec
+base(int width, int frames, uint64_t seed)
+{
+    SynthSpec s;
+    s.width = even(width);
+    s.height = even(width * 9 / 16);
+    s.frame_count = frames;
+    s.fps = 30.0;
+    s.seed = seed;
+    return s;
+}
+
+} // namespace
+
+std::vector<VbenchClip>
+vbenchCorpus(int width, int frames)
+{
+    WSVA_ASSERT(width >= 64, "corpus width too small");
+    std::vector<VbenchClip> corpus;
+    auto add = [&](const std::string &name, SynthSpec spec) {
+        corpus.push_back({name, spec});
+    };
+
+    // Screen content: easiest to encode (flat regions, sharp text).
+    {
+        SynthSpec s = base(width, frames, 101);
+        s.detail = 0;
+        s.objects = 0;
+        s.motion = 0;
+        s.screen_content = true;
+        add("presentation", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 102);
+        s.detail = 1;
+        s.objects = 1;
+        s.motion = 0.5;
+        s.screen_content = true;
+        add("desktop", s);
+    }
+
+    // Natural content, light motion.
+    {
+        SynthSpec s = base(width, frames, 103);
+        s.detail = 2;
+        s.objects = 1;
+        s.motion = 3.0;
+        s.pan_speed = 1.0;
+        add("bike", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 104);
+        s.detail = 2;
+        s.objects = 2;
+        s.motion = 1.5;
+        s.scene_cut_period = frames / 2;
+        add("funny", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 105);
+        s.detail = 2;
+        s.objects = 0;
+        s.motion = 0;
+        s.pan_speed = 0.4;
+        add("house", s);
+    }
+
+    // Sports / moderate motion.
+    {
+        SynthSpec s = base(width, frames, 106);
+        s.detail = 2;
+        s.objects = 4;
+        s.motion = 3.5;
+        s.pan_speed = 1.5;
+        add("cricket", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 107);
+        s.detail = 1;
+        s.objects = 1;
+        s.motion = 1.0;
+        s.noise_sigma = 1.0;
+        add("girl", s);
+    }
+
+    // Gaming content: synthetic, sharp, fast.
+    {
+        SynthSpec s = base(width, frames, 108);
+        s.detail = 1;
+        s.objects = 5;
+        s.motion = 5.0;
+        s.screen_content = true;
+        add("game_1", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 109);
+        s.detail = 2;
+        s.objects = 4;
+        s.motion = 4.0;
+        s.pan_speed = 2.0;
+        add("game_2", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 110);
+        s.detail = 3;
+        s.objects = 3;
+        s.motion = 4.5;
+        s.pan_speed = 1.0;
+        add("game_3", s);
+    }
+
+    // Natural content, noise / texture heavy.
+    {
+        SynthSpec s = base(width, frames, 111);
+        s.detail = 2;
+        s.objects = 2;
+        s.motion = 2.0;
+        s.noise_sigma = 2.0;
+        add("chicken", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 112);
+        s.detail = 2;
+        s.objects = 1;
+        s.motion = 0.8;
+        s.pan_speed = 0.5;
+        add("hall", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 113);
+        s.detail = 3;
+        s.objects = 1;
+        s.motion = 1.0;
+        s.noise_sigma = 1.5;
+        add("cat", s);
+    }
+    {
+        SynthSpec s = base(width, frames, 114);
+        s.detail = 3;
+        s.objects = 0;
+        s.motion = 0;
+        s.pan_speed = 0.8;
+        add("landscape", s);
+    }
+
+    // Hardest: dense motion, noise, and lighting events.
+    {
+        SynthSpec s = base(width, frames, 115);
+        s.detail = 3;
+        s.objects = 6;
+        s.motion = 5.0;
+        s.noise_sigma = 3.0;
+        s.flash_period = frames / 4;
+        add("holi", s);
+    }
+
+    return corpus;
+}
+
+const VbenchClip &
+vbenchClip(const std::vector<VbenchClip> &corpus, const std::string &name)
+{
+    for (const auto &clip : corpus) {
+        if (clip.name == name)
+            return clip;
+    }
+    fatal("no vbench clip named '%s'", name.c_str());
+}
+
+} // namespace wsva::workload

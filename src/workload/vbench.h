@@ -1,0 +1,45 @@
+/**
+ * @file
+ * A synthetic stand-in for the vbench suite (Lottarini et al.,
+ * ASPLOS'18) used by the paper's Section 4.1 evaluation: 15 clips
+ * spanning a 3-D space of resolution, frame rate, and entropy. Since
+ * no real corpus ships with this repository, each clip is generated
+ * procedurally with a content class chosen to land in the same
+ * region of that space as its namesake (screen content at the easy
+ * end, high-motion flashing crowds at the hard end).
+ */
+
+#ifndef WSVA_WORKLOAD_VBENCH_H
+#define WSVA_WORKLOAD_VBENCH_H
+
+#include <string>
+#include <vector>
+
+#include "video/synth.h"
+
+namespace wsva::workload {
+
+/** One corpus entry. */
+struct VbenchClip
+{
+    std::string name;
+    wsva::video::SynthSpec spec;
+};
+
+/**
+ * The 15-clip corpus.
+ *
+ * @param width Base luma width for the "full-size" clips (the suite
+ *        mixes resolutions around this); keep it modest (e.g. 192 or
+ *        320) so quality sweeps run quickly on one machine.
+ * @param frames Frames per clip.
+ */
+std::vector<VbenchClip> vbenchCorpus(int width = 192, int frames = 24);
+
+/** Look up one clip by name (fatal if absent). */
+const VbenchClip &vbenchClip(const std::vector<VbenchClip> &corpus,
+                             const std::string &name);
+
+} // namespace wsva::workload
+
+#endif // WSVA_WORKLOAD_VBENCH_H

@@ -1,0 +1,122 @@
+#include "cluster/consistent_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "cluster/cluster.h"
+#include "workload/traffic.h"
+
+namespace wsva::cluster {
+namespace {
+
+std::vector<int>
+ids(int n)
+{
+    std::vector<int> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(i);
+    return v;
+}
+
+TEST(ConsistentHash, AffinitySetIsStable)
+{
+    ConsistentHashRing ring(ids(20));
+    const auto a = ring.affinitySet(42, 3);
+    const auto b = ring.affinitySet(42, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(ConsistentHash, SetsAreDistinctWorkers)
+{
+    ConsistentHashRing ring(ids(20));
+    for (uint64_t key = 0; key < 200; ++key) {
+        const auto set = ring.affinitySet(key, 5);
+        std::set<int> unique(set.begin(), set.end());
+        ASSERT_EQ(unique.size(), 5u) << "key " << key;
+    }
+}
+
+TEST(ConsistentHash, CountClampedToWorkers)
+{
+    ConsistentHashRing ring(ids(3));
+    EXPECT_EQ(ring.affinitySet(7, 10).size(), 3u);
+}
+
+TEST(ConsistentHash, LoadSpreadsAcrossWorkers)
+{
+    ConsistentHashRing ring(ids(20));
+    std::map<int, int> hits;
+    for (uint64_t key = 0; key < 4000; ++key)
+        ++hits[ring.affinitySet(key, 1)[0]];
+    // Every worker should own some keys; none should dominate.
+    EXPECT_EQ(hits.size(), 20u);
+    for (const auto &[id, count] : hits) {
+        EXPECT_GT(count, 40) << id;
+        EXPECT_LT(count, 600) << id;
+    }
+}
+
+TEST(ConsistentHash, RemovalOnlyMovesAffectedKeys)
+{
+    ConsistentHashRing ring(ids(20));
+    std::map<uint64_t, int> before;
+    for (uint64_t key = 0; key < 1000; ++key)
+        before[key] = ring.affinitySet(key, 1)[0];
+    ring.removeWorker(7);
+    int moved = 0;
+    for (uint64_t key = 0; key < 1000; ++key) {
+        const int now = ring.affinitySet(key, 1)[0];
+        EXPECT_NE(now, 7);
+        if (now != before[key]) {
+            ++moved;
+            EXPECT_EQ(before[key], 7) << "key " << key
+                                      << " moved unnecessarily";
+        }
+    }
+    EXPECT_GT(moved, 0);
+}
+
+TEST(ConsistentHash, ReAddRestoresOwnership)
+{
+    ConsistentHashRing ring(ids(10));
+    std::map<uint64_t, int> before;
+    for (uint64_t key = 0; key < 500; ++key)
+        before[key] = ring.affinitySet(key, 1)[0];
+    ring.removeWorker(3);
+    ring.addWorker(3);
+    for (uint64_t key = 0; key < 500; ++key)
+        ASSERT_EQ(ring.affinitySet(key, 1)[0], before[key]);
+}
+
+TEST(ConsistentHash, ClusterBlastRadiusShrinks)
+{
+    // The paper's suggested enhancement: with affinity placement a
+    // long video touches far fewer VCUs.
+    auto run_with = [](bool hashing) {
+        ClusterConfig cfg;
+        cfg.hosts = 2;
+        cfg.vcus_per_host = 10;
+        cfg.seed = 3;
+        cfg.use_consistent_hashing = hashing;
+        cfg.affinity_set_size = 3;
+        ClusterSim sim(cfg);
+        // One long video: many chunks of the same video id.
+        for (int c = 0; c < 120; ++c) {
+            sim.submit(makeMotStep(static_cast<uint64_t>(c), 1, c,
+                                   {1920, 1080},
+                                   wsva::video::codec::CodecType::VP9));
+        }
+        sim.run(600.0, 1.0);
+        return sim.blastRadius().vcusTouching(1);
+    };
+    const size_t spread = run_with(false);
+    const size_t hashed = run_with(true);
+    EXPECT_LE(hashed, 3u);
+    EXPECT_LT(hashed, spread);
+}
+
+} // namespace
+} // namespace wsva::cluster

@@ -1,0 +1,90 @@
+#include "cluster/failure.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::cluster {
+namespace {
+
+FailurePolicy
+policy(int cap = 2, double repair_s = 100.0)
+{
+    FailurePolicy p;
+    p.repair_cap = cap;
+    p.repair_seconds = repair_s;
+    return p;
+}
+
+TEST(RepairQueue, BasicFlow)
+{
+    RepairQueue q(policy());
+    EXPECT_TRUE(q.tryEnter(1, 0.0));
+    EXPECT_EQ(q.inRepair(), 1u);
+    EXPECT_TRUE(q.collectRepaired(99.0).empty());
+    auto done = q.collectRepaired(100.0);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 1);
+    EXPECT_EQ(q.inRepair(), 0u);
+}
+
+TEST(RepairQueue, CapLimitsSimultaneousRepairs)
+{
+    RepairQueue q(policy(2));
+    EXPECT_TRUE(q.tryEnter(1, 0.0));
+    EXPECT_TRUE(q.tryEnter(2, 0.0));
+    EXPECT_FALSE(q.tryEnter(3, 0.0)); // Cap reached.
+    EXPECT_EQ(q.capDeferrals(), 1u);
+    q.collectRepaired(100.0);
+    EXPECT_TRUE(q.tryEnter(3, 100.0));
+}
+
+TEST(RepairQueue, ReenteringSameHostIsIdempotent)
+{
+    RepairQueue q(policy(1));
+    EXPECT_TRUE(q.tryEnter(1, 0.0));
+    EXPECT_TRUE(q.tryEnter(1, 10.0));
+    EXPECT_EQ(q.inRepair(), 1u);
+    EXPECT_EQ(q.totalRepairs(), 1u);
+}
+
+TEST(BlastRadius, TracksVcusPerVideo)
+{
+    BlastRadiusTracker t;
+    t.recordChunk(42, 1);
+    t.recordChunk(42, 2);
+    t.recordChunk(42, 2); // Duplicate.
+    t.recordChunk(43, 5);
+    EXPECT_EQ(t.vcusTouching(42), 2u);
+    EXPECT_EQ(t.vcusTouching(43), 1u);
+    EXPECT_EQ(t.vcusTouching(99), 0u);
+}
+
+TEST(BlastRadius, DetectedCorruptionDoesNotCorruptVideo)
+{
+    BlastRadiusTracker t;
+    t.recordDetectedCorruption(42, 7);
+    EXPECT_EQ(t.detectedChunks(), 1u);
+    EXPECT_EQ(t.corruptVideos(), 0u);
+}
+
+TEST(BlastRadius, EscapedCorruptionMarksVideo)
+{
+    BlastRadiusTracker t;
+    t.recordEscapedCorruption(42, 7);
+    t.recordEscapedCorruption(42, 8);
+    t.recordEscapedCorruption(50, 7);
+    EXPECT_EQ(t.escapedChunks(), 3u);
+    EXPECT_EQ(t.corruptVideos(), 2u);
+}
+
+TEST(BlastRadius, SuspectVcuByDetectionCount)
+{
+    BlastRadiusTracker t;
+    EXPECT_EQ(t.mostSuspectVcu(), -1);
+    t.recordDetectedCorruption(1, 7);
+    t.recordDetectedCorruption(2, 7);
+    t.recordDetectedCorruption(3, 9);
+    EXPECT_EQ(t.mostSuspectVcu(), 7);
+}
+
+} // namespace
+} // namespace wsva::cluster

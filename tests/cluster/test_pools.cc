@@ -1,0 +1,166 @@
+#include "cluster/pools.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wsva::cluster {
+namespace {
+
+using wsva::video::codec::CodecType;
+
+class PoolsTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int i = 0; i < 6; ++i) {
+            owned_.push_back(std::make_unique<Worker>(
+                i, WorkerType::Vcu, vcuWorkerCapacity()));
+            workers_.push_back(owned_.back().get());
+        }
+    }
+
+    static TranscodeStep
+    step(uint64_t id, UseCase use, Priority prio)
+    {
+        auto s = makeMotStep(id, id, 0, {1920, 1080}, CodecType::VP9);
+        s.use_case = use;
+        s.priority = prio;
+        return s;
+    }
+
+    std::vector<std::unique_ptr<Worker>> owned_;
+    std::vector<Worker *> workers_;
+    ResourceMappingPolicy policy_;
+};
+
+TEST_F(PoolsTest, WorkersDistributedRoundRobin)
+{
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Normal},
+                               {UseCase::Live, Priority::Critical}});
+    EXPECT_EQ(mgr.pools()[0].workerCount(), 3u);
+    EXPECT_EQ(mgr.pools()[1].workerCount(), 3u);
+}
+
+TEST_F(PoolsTest, StepsRouteToTheirPool)
+{
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Normal},
+                               {UseCase::Live, Priority::Critical}});
+    mgr.submit(step(1, UseCase::Upload, Priority::Normal));
+    mgr.submit(step(2, UseCase::Live, Priority::Critical));
+    mgr.submit(step(3, UseCase::Live, Priority::Critical));
+    EXPECT_EQ(
+        mgr.pool({UseCase::Upload, Priority::Normal})->backlogSize(), 1u);
+    EXPECT_EQ(
+        mgr.pool({UseCase::Live, Priority::Critical})->backlogSize(), 2u);
+}
+
+TEST_F(PoolsTest, ScheduleRespectsPoolBoundaries)
+{
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Normal},
+                               {UseCase::Live, Priority::Critical}});
+    for (uint64_t i = 0; i < 4; ++i)
+        mgr.submit(step(i, UseCase::Upload, Priority::Normal));
+    const int placed = mgr.scheduleAll(0.0, policy_);
+    EXPECT_EQ(placed, 4);
+    // Only upload-pool workers got work.
+    for (Worker *w :
+         mgr.pool({UseCase::Live, Priority::Critical})->workers())
+        EXPECT_TRUE(w->idle());
+}
+
+TEST_F(PoolsTest, RebalanceMovesIdleWorkersTowardDemand)
+{
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Normal},
+                               {UseCase::Live, Priority::Critical}});
+    // Saturate the upload pool far beyond its 3 workers.
+    for (uint64_t i = 0; i < 60; ++i)
+        mgr.submit(step(i, UseCase::Upload, Priority::Normal));
+    mgr.scheduleAll(0.0, policy_);
+    EXPECT_GT(mgr.totalBacklog(), 0u);
+
+    const int moved = mgr.rebalance();
+    EXPECT_GT(moved, 0);
+    EXPECT_EQ(
+        mgr.pool({UseCase::Upload, Priority::Normal})->workerCount(), 6u);
+    // The transferred capacity absorbs more of the backlog.
+    const size_t before = mgr.totalBacklog();
+    mgr.scheduleAll(0.0, policy_);
+    EXPECT_LT(mgr.totalBacklog(), before);
+}
+
+TEST_F(PoolsTest, RebalanceNeverStealsBusyWorkers)
+{
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Normal},
+                               {UseCase::Live, Priority::Critical}});
+    // Both pools busy: live gets 2160p MOTs, each of which nearly
+    // fills one VCU, so every live worker is occupied.
+    for (uint64_t i = 0; i < 3; ++i) {
+        auto big = makeMotStep(100 + i, 100 + i, 0, {3840, 2160},
+                               CodecType::VP9);
+        big.use_case = UseCase::Live;
+        big.priority = Priority::Critical;
+        mgr.submit(big);
+    }
+    mgr.scheduleAll(0.0, policy_);
+    // Upload floods.
+    for (uint64_t i = 0; i < 50; ++i)
+        mgr.submit(step(i, UseCase::Upload, Priority::Normal));
+    mgr.scheduleAll(0.0, policy_);
+    mgr.rebalance();
+    // Live still holds its (busy) workers.
+    EXPECT_EQ(
+        mgr.pool({UseCase::Live, Priority::Critical})->workerCount(), 3u);
+}
+
+TEST_F(PoolsTest, CriticalPoolSchedulesFirst)
+{
+    // One shared... both pools hold workers; flood both, then check
+    // critical got its placements on its workers first by observing
+    // that critical backlog drains before batch when capacity tight.
+    PoolManager mgr(workers_, {{UseCase::Upload, Priority::Batch},
+                               {UseCase::Live, Priority::Critical}});
+    for (uint64_t i = 0; i < 40; ++i) {
+        mgr.submit(step(i, UseCase::Upload, Priority::Batch));
+        mgr.submit(step(100 + i, UseCase::Live, Priority::Critical));
+    }
+    mgr.scheduleAll(0.0, policy_);
+    const auto live_backlog =
+        mgr.pool({UseCase::Live, Priority::Critical})->backlogSize();
+    const auto batch_backlog =
+        mgr.pool({UseCase::Upload, Priority::Batch})->backlogSize();
+    EXPECT_LE(live_backlog, batch_backlog);
+}
+
+TEST_F(PoolsTest, PressureSemantics)
+{
+    Pool p({UseCase::Upload, Priority::Normal});
+    EXPECT_EQ(p.pressure(), 0.0); // No work.
+    p.submit(step(1, UseCase::Upload, Priority::Normal));
+    EXPECT_GT(p.pressure(), 1e12); // Work but no workers.
+    p.grantWorker(workers_[0]);
+    EXPECT_DOUBLE_EQ(p.pressure(), 1.0);
+}
+
+TEST_F(PoolsTest, PoolNames)
+{
+    EXPECT_EQ(poolName({UseCase::Upload, Priority::Batch}),
+              "upload/batch");
+    EXPECT_EQ(poolName({UseCase::Live, Priority::Critical}),
+              "live/critical");
+}
+
+TEST_F(PoolsTest, ReleaseIdlePrefersTrailingWorker)
+{
+    Pool p({UseCase::Upload, Priority::Normal});
+    p.grantWorker(workers_[0]);
+    p.grantWorker(workers_[1]);
+    Worker *released = p.releaseIdleWorker();
+    ASSERT_NE(released, nullptr);
+    EXPECT_EQ(released->id(), 1);
+}
+
+} // namespace
+} // namespace wsva::cluster

@@ -1,0 +1,140 @@
+#include "cluster/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace wsva::cluster {
+namespace {
+
+using wsva::video::codec::CodecType;
+
+class SchedulerTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (int i = 0; i < 4; ++i) {
+            workers_.push_back(std::make_unique<Worker>(
+                i, WorkerType::Vcu, vcuWorkerCapacity()));
+        }
+        for (auto &w : workers_)
+            raw_.push_back(w.get());
+    }
+
+    TranscodeStep
+    step(uint64_t id)
+    {
+        return makeMotStep(id, id, 0, {1920, 1080}, CodecType::VP9);
+    }
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<Worker *> raw_;
+};
+
+TEST_F(SchedulerTest, FirstFitByWorkerNumber)
+{
+    BinPackScheduler sched(raw_);
+    ResourceVector need{{kResEncodeMillicores, 3750.0}};
+    Worker *w = sched.pick(need);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->id(), 0);
+}
+
+TEST_F(SchedulerTest, SkipsWorkerLackingOneDimension)
+{
+    // Paper Figure 6: worker 0 has no decode left -> worker 1 wins.
+    ResourceVector drain_decode{{kResDecodeMillicores, 3000.0}};
+    raw_[0]->assign(step(1), drain_decode, 0.0, 100.0);
+
+    BinPackScheduler sched(raw_);
+    ResourceVector need{{kResDecodeMillicores, 500.0},
+                        {kResEncodeMillicores, 3750.0}};
+    Worker *w = sched.pick(need);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->id(), 1);
+}
+
+TEST_F(SchedulerTest, PacksBeforeSpreading)
+{
+    // Greedy load-maximizing: repeated small requests all land on
+    // worker 0 until it is full, leaving trailing workers idle as
+    // stop candidates.
+    BinPackScheduler sched(raw_);
+    ResourceVector need{{kResEncodeMillicores, 2500.0}};
+    for (int i = 0; i < 4; ++i) {
+        Worker *w = sched.pick(need);
+        ASSERT_NE(w, nullptr);
+        EXPECT_EQ(w->id(), 0);
+        w->assign(step(static_cast<uint64_t>(i)), need, 0.0, 100.0);
+    }
+    Worker *w = sched.pick(need);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->id(), 1);
+    EXPECT_EQ(sched.idleWorkers(), 3);
+}
+
+TEST_F(SchedulerTest, RejectsWhenNothingFits)
+{
+    BinPackScheduler sched(raw_);
+    ResourceVector huge{{kResEncodeMillicores, 50000.0}};
+    EXPECT_EQ(sched.pick(huge), nullptr);
+    EXPECT_EQ(sched.stats().rejected, 1u);
+}
+
+TEST_F(SchedulerTest, BinPackReservationEqualsNeed)
+{
+    BinPackScheduler sched(raw_);
+    ResourceVector need{{kResEncodeMillicores, 1234.0}};
+    EXPECT_EQ(sched.reservationFor(need), need);
+}
+
+TEST_F(SchedulerTest, SlotSchedulerWastesCapacity)
+{
+    // Slot sized for a worst-case step: a VCU fits only 2 slots even
+    // for tiny requests, while bin packing fits many more.
+    ResourceVector slot{{kResDecodeMillicores, 1000.0},
+                        {kResEncodeMillicores, 5000.0}};
+    SlotScheduler slots(raw_, slot);
+    ResourceVector tiny{{kResDecodeMillicores, 100.0},
+                        {kResEncodeMillicores, 500.0}};
+
+    int placed_on_w0 = 0;
+    for (int i = 0; i < 10; ++i) {
+        Worker *w = slots.pick(tiny);
+        ASSERT_NE(w, nullptr);
+        if (w->id() != 0)
+            break;
+        w->assign(step(static_cast<uint64_t>(i)),
+                  slots.reservationFor(tiny), 0.0, 100.0);
+        ++placed_on_w0;
+    }
+    EXPECT_EQ(placed_on_w0, 2); // 2 x 5000 enc millicores = full.
+}
+
+TEST_F(SchedulerTest, SlotReservationIsElementwiseMax)
+{
+    ResourceVector slot{{kResEncodeMillicores, 5000.0}};
+    SlotScheduler slots(raw_, slot);
+    ResourceVector big{{kResEncodeMillicores, 7000.0},
+                       {kResDecodeMillicores, 400.0}};
+    const auto reservation = slots.reservationFor(big);
+    EXPECT_EQ(reservation.get(kResEncodeMillicores), 7000);
+    EXPECT_EQ(reservation.get(kResDecodeMillicores), 400);
+}
+
+TEST_F(SchedulerTest, DisabledVcuSkipped)
+{
+    VcuHealth dead;
+    dead.disabled = true;
+    raw_[0]->bindVcu(&dead);
+    BinPackScheduler sched(raw_);
+    ResourceVector need{{kResEncodeMillicores, 1000.0}};
+    Worker *w = sched.pick(need);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->id(), 1);
+}
+
+} // namespace
+} // namespace wsva::cluster

@@ -1,0 +1,92 @@
+#include "video/codec/bitio.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+TEST(BitIo, SingleBits)
+{
+    BitWriter bw;
+    bw.putBit(1);
+    bw.putBit(0);
+    bw.putBit(1);
+    auto bytes = bw.take();
+    ASSERT_EQ(bytes.size(), 1u);
+    EXPECT_EQ(bytes[0], 0b10100000);
+}
+
+TEST(BitIo, MultiBitValues)
+{
+    BitWriter bw;
+    bw.putBits(0x5, 3);
+    bw.putBits(0x1ff, 9);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(br.getBits(3), 0x5u);
+    EXPECT_EQ(br.getBits(9), 0x1ffu);
+}
+
+TEST(BitIo, RandomRoundTrip)
+{
+    wsva::Rng rng(5);
+    std::vector<std::pair<uint32_t, int>> values;
+    BitWriter bw;
+    for (int i = 0; i < 2000; ++i) {
+        const int width = 1 + static_cast<int>(rng.uniformInt(32));
+        const uint32_t v =
+            width == 32 ? rng.nextU32() : rng.nextU32() & ((1u << width) - 1);
+        values.emplace_back(v, width);
+        bw.putBits(v, width);
+    }
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (const auto &[v, width] : values)
+        ASSERT_EQ(br.getBits(width), v);
+    EXPECT_FALSE(br.overrun());
+}
+
+TEST(BitIo, ByteAlignPadsWithZeros)
+{
+    BitWriter bw;
+    bw.putBit(1);
+    bw.byteAlign();
+    EXPECT_EQ(bw.bitCount(), 8u);
+    auto bytes = bw.take();
+    EXPECT_EQ(bytes[0], 0x80);
+}
+
+TEST(BitIo, ReaderAlignsToByte)
+{
+    BitWriter bw;
+    bw.putBits(0b101, 3);
+    bw.byteAlign();
+    bw.putBits(0xab, 8);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    br.getBits(3);
+    br.byteAlign();
+    EXPECT_EQ(br.getBits(8), 0xabu);
+}
+
+TEST(BitIo, OverrunDetected)
+{
+    std::vector<uint8_t> one = {0xff};
+    BitReader br(one);
+    br.getBits(8);
+    EXPECT_FALSE(br.overrun());
+    br.getBit();
+    EXPECT_TRUE(br.overrun());
+}
+
+TEST(BitIo, BitCountTracksExactly)
+{
+    BitWriter bw;
+    bw.putBits(0, 13);
+    EXPECT_EQ(bw.bitCount(), 13u);
+}
+
+} // namespace
+} // namespace wsva::video::codec

@@ -1,0 +1,130 @@
+#include "video/codec/bitstream.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::video::codec {
+namespace {
+
+SequenceHeader
+sampleSeq()
+{
+    SequenceHeader seq;
+    seq.codec = CodecType::VP9;
+    seq.width = 320;
+    seq.height = 180;
+    seq.fps = 29.97;
+    seq.frame_count = 3;
+    return seq;
+}
+
+TEST(Bitstream, SequenceHeaderRoundTrip)
+{
+    StreamWriter sw(sampleSeq());
+    auto bytes = sw.take();
+    auto reader = StreamReader::open(bytes);
+    ASSERT_TRUE(reader.has_value());
+    EXPECT_EQ(reader->sequence().codec, CodecType::VP9);
+    EXPECT_EQ(reader->sequence().width, 320);
+    EXPECT_EQ(reader->sequence().height, 180);
+    EXPECT_NEAR(reader->sequence().fps, 29.97, 0.001);
+    EXPECT_EQ(reader->sequence().frame_count, 3);
+    EXPECT_TRUE(reader->atEnd());
+}
+
+TEST(Bitstream, FrameRecordsRoundTrip)
+{
+    StreamWriter sw(sampleSeq());
+    FrameHeader h1;
+    h1.type = FrameType::Key;
+    h1.show = true;
+    h1.qp = 20;
+    h1.update_last = h1.update_golden = h1.update_altref = true;
+    sw.addFrame(h1, {1, 2, 3});
+
+    FrameHeader h2;
+    h2.type = FrameType::AltRef;
+    h2.show = false;
+    h2.qp = 63;
+    h2.update_last = false;
+    h2.update_golden = false;
+    h2.update_altref = true;
+    sw.addFrame(h2, {});
+
+    auto bytes = sw.take();
+    auto reader = StreamReader::open(bytes);
+    ASSERT_TRUE(reader.has_value());
+
+    FrameHeader hdr;
+    std::vector<uint8_t> payload;
+    ASSERT_TRUE(reader->nextFrame(hdr, payload));
+    EXPECT_EQ(hdr.type, FrameType::Key);
+    EXPECT_TRUE(hdr.show);
+    EXPECT_EQ(hdr.qp, 20);
+    EXPECT_TRUE(hdr.update_altref);
+    EXPECT_EQ(payload, (std::vector<uint8_t>{1, 2, 3}));
+
+    ASSERT_TRUE(reader->nextFrame(hdr, payload));
+    EXPECT_EQ(hdr.type, FrameType::AltRef);
+    EXPECT_FALSE(hdr.show);
+    EXPECT_EQ(hdr.qp, 63);
+    EXPECT_FALSE(hdr.update_last);
+    EXPECT_TRUE(hdr.update_altref);
+    EXPECT_TRUE(payload.empty());
+    EXPECT_TRUE(reader->atEnd());
+}
+
+TEST(Bitstream, RejectsBadMagic)
+{
+    StreamWriter sw(sampleSeq());
+    auto bytes = sw.take();
+    bytes[0] = 'X';
+    EXPECT_FALSE(StreamReader::open(bytes).has_value());
+}
+
+TEST(Bitstream, RejectsShortBuffer)
+{
+    std::vector<uint8_t> tiny = {'W', 'V', 'C', '1', 0};
+    EXPECT_FALSE(StreamReader::open(tiny).has_value());
+}
+
+TEST(Bitstream, RejectsUnknownCodec)
+{
+    StreamWriter sw(sampleSeq());
+    auto bytes = sw.take();
+    bytes[4] = 9; // Codec id byte.
+    EXPECT_FALSE(StreamReader::open(bytes).has_value());
+}
+
+TEST(Bitstream, DetectsTruncatedFrameRecord)
+{
+    StreamWriter sw(sampleSeq());
+    FrameHeader hdr;
+    hdr.qp = 10;
+    sw.addFrame(hdr, std::vector<uint8_t>(100, 0xaa));
+    auto bytes = sw.take();
+    bytes.resize(bytes.size() - 50);
+    auto reader = StreamReader::open(bytes);
+    ASSERT_TRUE(reader.has_value());
+    std::vector<uint8_t> payload;
+    EXPECT_FALSE(reader->nextFrame(hdr, payload));
+}
+
+TEST(Bitstream, H264CodecIdPreserved)
+{
+    SequenceHeader seq = sampleSeq();
+    seq.codec = CodecType::H264;
+    StreamWriter sw(seq);
+    auto reader = StreamReader::open(sw.take());
+    ASSERT_TRUE(reader.has_value());
+    EXPECT_EQ(reader->sequence().codec, CodecType::H264);
+}
+
+TEST(BitstreamDeathTest, RejectsZeroDimensions)
+{
+    SequenceHeader seq = sampleSeq();
+    seq.width = 0;
+    EXPECT_DEATH(StreamWriter{seq}, "dimensions");
+}
+
+} // namespace
+} // namespace wsva::video::codec

@@ -1,0 +1,238 @@
+#include "video/codec/entropy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+/** Round-trip a mixed symbol script through a writer/reader pair. */
+struct Symbol
+{
+    enum Kind { Bit, UInt, SInt, Literal } kind;
+    int ctx;
+    int64_t value;
+    int width; // For literals.
+};
+
+std::vector<Symbol>
+randomScript(uint64_t seed, int count)
+{
+    wsva::Rng rng(seed);
+    std::vector<Symbol> script;
+    for (int i = 0; i < count; ++i) {
+        Symbol s{};
+        s.ctx = static_cast<int>(rng.uniformInt(kNumSyntaxCtx));
+        switch (rng.uniformInt(4)) {
+          case 0:
+            s.kind = Symbol::Bit;
+            s.value = rng.uniformInt(2);
+            break;
+          case 1:
+            s.kind = Symbol::UInt;
+            s.value = rng.nextU32() >> (8 + rng.uniformInt(20));
+            break;
+          case 2:
+            s.kind = Symbol::SInt;
+            s.value = rng.uniformRange(-5000, 5000);
+            break;
+          default:
+            s.kind = Symbol::Literal;
+            s.width = 1 + static_cast<int>(rng.uniformInt(16));
+            s.value = rng.nextU32() & ((1u << s.width) - 1);
+            break;
+        }
+        script.push_back(s);
+    }
+    return script;
+}
+
+void
+writeScript(SyntaxWriter &w, const std::vector<Symbol> &script)
+{
+    for (const auto &s : script) {
+        switch (s.kind) {
+          case Symbol::Bit:
+            w.writeBit(s.ctx, static_cast<int>(s.value));
+            break;
+          case Symbol::UInt:
+            w.writeUInt(s.ctx, static_cast<uint32_t>(s.value));
+            break;
+          case Symbol::SInt:
+            w.writeSInt(s.ctx, static_cast<int32_t>(s.value));
+            break;
+          case Symbol::Literal:
+            w.writeLiteral(static_cast<uint32_t>(s.value), s.width);
+            break;
+        }
+    }
+}
+
+void
+checkScript(SyntaxReader &r, const std::vector<Symbol> &script)
+{
+    for (const auto &s : script) {
+        switch (s.kind) {
+          case Symbol::Bit:
+            ASSERT_EQ(r.readBit(s.ctx), s.value);
+            break;
+          case Symbol::UInt:
+            ASSERT_EQ(r.readUInt(s.ctx),
+                      static_cast<uint32_t>(s.value));
+            break;
+          case Symbol::SInt:
+            ASSERT_EQ(r.readSInt(s.ctx),
+                      static_cast<int32_t>(s.value));
+            break;
+          case Symbol::Literal:
+            ASSERT_EQ(r.readLiteral(s.width),
+                      static_cast<uint32_t>(s.value));
+            break;
+        }
+    }
+}
+
+class SyntaxRoundTrip : public testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SyntaxRoundTrip, Golomb)
+{
+    auto script = randomScript(GetParam(), 3000);
+    GolombSyntaxWriter writer;
+    writeScript(writer, script);
+    auto bytes = writer.finish();
+    GolombSyntaxReader reader(bytes.data(), bytes.size());
+    checkScript(reader, script);
+    EXPECT_FALSE(reader.overrun());
+}
+
+TEST_P(SyntaxRoundTrip, Arith)
+{
+    auto script = randomScript(GetParam(), 3000);
+    EntropyModel enc_model;
+    ArithSyntaxWriter writer(enc_model);
+    writeScript(writer, script);
+    auto bytes = writer.finish();
+
+    EntropyModel dec_model;
+    ArithSyntaxReader reader(dec_model, bytes.data(), bytes.size());
+    checkScript(reader, script);
+}
+
+TEST_P(SyntaxRoundTrip, ArithAcrossAdaptation)
+{
+    // Write two "frames" with adapt() between them; reader must stay
+    // in sync by adapting from its own decoded counts.
+    auto frame1 = randomScript(GetParam() * 3 + 1, 2000);
+    auto frame2 = randomScript(GetParam() * 3 + 2, 2000);
+
+    EntropyModel enc_model;
+    ArithSyntaxWriter w1(enc_model);
+    writeScript(w1, frame1);
+    auto b1 = w1.finish();
+    enc_model.adapt();
+    ArithSyntaxWriter w2(enc_model);
+    writeScript(w2, frame2);
+    auto b2 = w2.finish();
+
+    EntropyModel dec_model;
+    ArithSyntaxReader r1(dec_model, b1.data(), b1.size());
+    checkScript(r1, frame1);
+    dec_model.adapt();
+    ArithSyntaxReader r2(dec_model, b2.data(), b2.size());
+    checkScript(r2, frame2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SyntaxRoundTrip,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(EntropyModel, AdaptationMovesTowardObservation)
+{
+    EntropyModel m;
+    const Prob before = m.prob(kCtxSkip, 0);
+    for (int i = 0; i < 100; ++i)
+        m.record(kCtxSkip, 0, 0); // Only zeros observed.
+    m.adapt();
+    EXPECT_GT(m.prob(kCtxSkip, 0), before);
+}
+
+TEST(EntropyModel, FewSamplesDoNotAdapt)
+{
+    EntropyModel m;
+    const Prob before = m.prob(kCtxMvdX, 0);
+    for (int i = 0; i < 3; ++i)
+        m.record(kCtxMvdX, 0, 1);
+    m.adapt();
+    EXPECT_EQ(m.prob(kCtxMvdX, 0), before);
+}
+
+TEST(EntropyModel, ResetRestoresDefaults)
+{
+    EntropyModel m;
+    for (int i = 0; i < 1000; ++i)
+        m.record(kCtxSkip, 0, 1);
+    m.adapt();
+    EntropyModel fresh;
+    m.reset();
+    EXPECT_EQ(m.prob(kCtxSkip, 0), fresh.prob(kCtxSkip, 0));
+}
+
+TEST(EntropyModel, ProbabilitiesStayInRange)
+{
+    EntropyModel m;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 10000; ++i)
+            m.record(kCtxCbf, 0, 1);
+        m.adapt();
+    }
+    EXPECT_GE(m.prob(kCtxCbf, 0), 1);
+    EXPECT_LE(m.prob(kCtxCbf, 0), 255);
+}
+
+TEST(Entropy, AdaptiveBeatsStaticOnSkewedData)
+{
+    // A stream of mostly-zero UInts: the arithmetic profile should
+    // compress it better than Exp-Golomb once adapted.
+    wsva::Rng rng(77);
+    std::vector<uint32_t> values;
+    for (int i = 0; i < 20000; ++i)
+        values.push_back(rng.bernoulli(0.9) ? 0 : rng.uniformInt(4));
+
+    GolombSyntaxWriter gw;
+    for (auto v : values)
+        gw.writeUInt(kCtxMvdX, v);
+    const auto golomb_size = gw.finish().size();
+
+    // Arith side adapts at "frame" boundaries, as in the codec.
+    EntropyModel model;
+    size_t arith_size = 0;
+    constexpr size_t kFrame = 2000;
+    for (size_t start = 0; start < values.size(); start += kFrame) {
+        ArithSyntaxWriter aw(model);
+        for (size_t i = start;
+             i < std::min(values.size(), start + kFrame); ++i) {
+            aw.writeUInt(kCtxMvdX, values[i]);
+        }
+        arith_size += aw.finish().size();
+        model.adapt();
+    }
+
+    EXPECT_LT(static_cast<double>(arith_size),
+              0.8 * static_cast<double>(golomb_size));
+}
+
+TEST(Entropy, CoeffBandCoversAllPositions)
+{
+    for (int pos = 0; pos < 64; ++pos) {
+        const int band = coeffBand(pos);
+        ASSERT_GE(band, 0);
+        ASSERT_LT(band, 5);
+    }
+    EXPECT_EQ(coeffBand(0), 0);
+    EXPECT_EQ(coeffBand(63), 4);
+}
+
+} // namespace
+} // namespace wsva::video::codec

@@ -1,0 +1,97 @@
+#include "video/codec/golomb.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+TEST(Golomb, KnownUeCodes)
+{
+    // ue(0)=1, ue(1)=010, ue(2)=011.
+    BitWriter bw;
+    putUe(bw, 0);
+    putUe(bw, 1);
+    putUe(bw, 2);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    EXPECT_EQ(br.getBit(), 1);
+    EXPECT_EQ(br.getBits(3), 0b010u);
+    EXPECT_EQ(br.getBits(3), 0b011u);
+}
+
+TEST(Golomb, UeRoundTripSmall)
+{
+    BitWriter bw;
+    for (uint32_t v = 0; v < 300; ++v)
+        putUe(bw, v);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (uint32_t v = 0; v < 300; ++v)
+        ASSERT_EQ(getUe(br), v);
+}
+
+TEST(Golomb, UeRoundTripLarge)
+{
+    wsva::Rng rng(2);
+    std::vector<uint32_t> values;
+    BitWriter bw;
+    for (int i = 0; i < 1000; ++i) {
+        const uint32_t v = rng.nextU32() >> (rng.uniformInt(31) + 1);
+        values.push_back(v);
+        putUe(bw, v);
+    }
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (uint32_t v : values)
+        ASSERT_EQ(getUe(br), v);
+}
+
+TEST(Golomb, SeRoundTrip)
+{
+    BitWriter bw;
+    for (int32_t v = -200; v <= 200; ++v)
+        putSe(bw, v);
+    auto bytes = bw.take();
+    BitReader br(bytes);
+    for (int32_t v = -200; v <= 200; ++v)
+        ASSERT_EQ(getSe(br), v);
+}
+
+TEST(Golomb, SeMappingOrder)
+{
+    // se mapping: 0 -> 0, 1 -> 1, -1 -> 2, 2 -> 3, -2 -> 4.
+    EXPECT_EQ(seBits(0), 1);
+    EXPECT_EQ(seBits(1), 3);
+    EXPECT_EQ(seBits(-1), 3);
+}
+
+TEST(Golomb, UeBitsMatchesActual)
+{
+    for (uint32_t v : {0u, 1u, 2u, 3u, 7u, 8u, 100u, 1000u, 65535u}) {
+        BitWriter bw;
+        putUe(bw, v);
+        EXPECT_EQ(static_cast<uint64_t>(ueBits(v)), bw.bitCount())
+            << "value " << v;
+    }
+}
+
+TEST(Golomb, SeBitsMatchesActual)
+{
+    for (int32_t v : {0, 1, -1, 5, -5, 300, -300}) {
+        BitWriter bw;
+        putSe(bw, v);
+        EXPECT_EQ(static_cast<uint64_t>(seBits(v)), bw.bitCount())
+            << "value " << v;
+    }
+}
+
+TEST(Golomb, MonotoneCodeLength)
+{
+    for (uint32_t v = 1; v < 1000; ++v)
+        ASSERT_LE(ueBits(v - 1), ueBits(v));
+}
+
+} // namespace
+} // namespace wsva::video::codec

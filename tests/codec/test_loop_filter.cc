@@ -1,0 +1,107 @@
+#include "video/codec/loop_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+TEST(LoopFilter, FlatPlaneUnchanged)
+{
+    Plane p(32, 32, 120);
+    Plane before = p;
+    deblockPlane(p, 40);
+    EXPECT_EQ(p, before);
+}
+
+TEST(LoopFilter, SmoothsSmallBlockStep)
+{
+    // A small step across the x=8 block edge should shrink.
+    Plane p(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            p.at(x, y) = x < 8 ? 100 : 104;
+    const int step_before = std::abs(p.at(8, 16) - p.at(7, 16));
+    deblockPlane(p, 40);
+    const int step_after = std::abs(p.at(8, 16) - p.at(7, 16));
+    EXPECT_LT(step_after, step_before);
+}
+
+TEST(LoopFilter, PreservesStrongEdges)
+{
+    // A large step is real content and must not be filtered.
+    Plane p(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            p.at(x, y) = x < 8 ? 30 : 220;
+    Plane before = p;
+    deblockPlane(p, 30);
+    EXPECT_EQ(p, before);
+}
+
+TEST(LoopFilter, HigherQpFiltersMore)
+{
+    auto make = [] {
+        Plane p(32, 32);
+        for (int y = 0; y < 32; ++y)
+            for (int x = 0; x < 32; ++x)
+                p.at(x, y) = x < 8 ? 100 : 108;
+        return p;
+    };
+    Plane lo = make();
+    Plane hi = make();
+    deblockPlane(lo, 4);
+    deblockPlane(hi, 60);
+    const int step_lo = std::abs(lo.at(8, 16) - lo.at(7, 16));
+    const int step_hi = std::abs(hi.at(8, 16) - hi.at(7, 16));
+    EXPECT_LE(step_hi, step_lo);
+}
+
+TEST(LoopFilter, FiltersHorizontalEdgesToo)
+{
+    Plane p(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            p.at(x, y) = y < 8 ? 100 : 104;
+    deblockPlane(p, 40);
+    EXPECT_LT(std::abs(p.at(16, 8) - p.at(16, 7)), 4);
+}
+
+TEST(LoopFilter, InteriorNotTouched)
+{
+    // Samples away from 8x8 edges must not change.
+    wsva::Rng rng(3);
+    Plane p(32, 32);
+    for (auto &px : p.data())
+        px = static_cast<uint8_t>(rng.uniformInt(256));
+    Plane before = p;
+    deblockPlane(p, 50);
+    for (int y = 0; y < 32; ++y) {
+        for (int x = 0; x < 32; ++x) {
+            const bool near_v = (x % 8 == 0 && x > 0) || (x % 8 == 7);
+            const bool near_h = (y % 8 == 0 && y > 0) || (y % 8 == 7);
+            if (!near_v && !near_h) {
+                ASSERT_EQ(p.at(x, y), before.at(x, y))
+                    << "(" << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST(LoopFilter, FrameFiltersAllPlanes)
+{
+    Frame f(32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            f.y().at(x, y) = x < 8 ? 100 : 104;
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            f.u().at(x, y) = x < 8 ? 100 : 104;
+    deblockFrame(f, 40);
+    EXPECT_LT(std::abs(f.y().at(8, 16) - f.y().at(7, 16)), 4);
+    EXPECT_LT(std::abs(f.u().at(8, 8) - f.u().at(7, 8)), 4);
+}
+
+} // namespace
+} // namespace wsva::video::codec

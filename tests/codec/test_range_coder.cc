@@ -1,0 +1,152 @@
+#include "video/codec/range_coder.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+TEST(RangeCoder, RoundTripFairBits)
+{
+    wsva::Rng rng(1);
+    std::vector<int> bits;
+    RangeEncoder enc;
+    for (int i = 0; i < 10000; ++i) {
+        const int b = static_cast<int>(rng.uniformInt(2));
+        bits.push_back(b);
+        enc.encodeBit(128, b);
+    }
+    auto bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (int b : bits)
+        ASSERT_EQ(dec.decodeBit(128), b);
+}
+
+TEST(RangeCoder, RoundTripSkewedBits)
+{
+    wsva::Rng rng(2);
+    for (Prob p : {Prob(1), Prob(10), Prob(128), Prob(245), Prob(255)}) {
+        std::vector<int> bits;
+        RangeEncoder enc;
+        for (int i = 0; i < 5000; ++i) {
+            const int b = rng.bernoulli(1.0 - p / 256.0) ? 1 : 0;
+            bits.push_back(b);
+            enc.encodeBit(p, b);
+        }
+        auto bytes = enc.finish();
+        RangeDecoder dec(bytes);
+        for (int b : bits)
+            ASSERT_EQ(dec.decodeBit(p), b) << "prob " << int(p);
+    }
+}
+
+TEST(RangeCoder, RoundTripVaryingProbabilities)
+{
+    wsva::Rng rng(3);
+    std::vector<std::pair<Prob, int>> symbols;
+    RangeEncoder enc;
+    for (int i = 0; i < 20000; ++i) {
+        const Prob p = static_cast<Prob>(1 + rng.uniformInt(255));
+        const int b = static_cast<int>(rng.uniformInt(2));
+        symbols.emplace_back(p, b);
+        enc.encodeBit(p, b);
+    }
+    auto bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (const auto &[p, b] : symbols)
+        ASSERT_EQ(dec.decodeBit(p), b);
+}
+
+TEST(RangeCoder, LiteralRoundTrip)
+{
+    wsva::Rng rng(4);
+    std::vector<std::pair<uint32_t, int>> values;
+    RangeEncoder enc;
+    for (int i = 0; i < 2000; ++i) {
+        const int width = 1 + static_cast<int>(rng.uniformInt(24));
+        const uint32_t v = rng.nextU32() & ((1u << width) - 1);
+        values.emplace_back(v, width);
+        enc.encodeLiteral(v, width);
+    }
+    auto bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (const auto &[v, width] : values)
+        ASSERT_EQ(dec.decodeLiteral(width), v);
+}
+
+TEST(RangeCoder, SkewedStreamCompressesWell)
+{
+    // 10000 highly predictable bits should take far less than 10000
+    // bits of payload.
+    RangeEncoder enc;
+    for (int i = 0; i < 10000; ++i)
+        enc.encodeBit(250, 0);
+    auto bytes = enc.finish();
+    // Entropy of p=250/256 zero-bit is ~0.037 bit, so expect < 100 B.
+    EXPECT_LT(bytes.size(), 100u);
+}
+
+TEST(RangeCoder, FairStreamNearOneBitPerBit)
+{
+    wsva::Rng rng(6);
+    RangeEncoder enc;
+    for (int i = 0; i < 8000; ++i)
+        enc.encodeBit(128, static_cast<int>(rng.uniformInt(2)));
+    auto bytes = enc.finish();
+    EXPECT_NEAR(static_cast<double>(bytes.size()), 1000.0, 20.0);
+}
+
+TEST(RangeCoder, CostUnitsTrackPayloadSize)
+{
+    wsva::Rng rng(7);
+    RangeEncoder enc;
+    for (int i = 0; i < 5000; ++i) {
+        const Prob p = static_cast<Prob>(1 + rng.uniformInt(255));
+        enc.encodeBit(p, static_cast<int>(rng.uniformInt(2)));
+    }
+    const double est_bits = static_cast<double>(enc.costUnits()) / 256.0;
+    auto bytes = enc.finish();
+    const double real_bits = static_cast<double>(bytes.size()) * 8.0;
+    EXPECT_NEAR(est_bits / real_bits, 1.0, 0.02);
+}
+
+TEST(RangeCoder, ProbCostIsMonotone)
+{
+    for (int p = 2; p < 256; ++p) {
+        ASSERT_LE(probCost(static_cast<Prob>(p), 0),
+                  probCost(static_cast<Prob>(p - 1), 0));
+        ASSERT_GE(probCost(static_cast<Prob>(p), 1),
+                  probCost(static_cast<Prob>(p - 1), 1));
+    }
+}
+
+TEST(RangeCoder, EmptyStreamFinishes)
+{
+    RangeEncoder enc;
+    auto bytes = enc.finish();
+    EXPECT_GE(bytes.size(), 1u); // Structural bytes only.
+}
+
+TEST(RangeCoder, WorstCaseCarryChain)
+{
+    // Encode a pattern that maximizes low-boundary hugging: long runs
+    // of improbable bits, which exercises carry propagation.
+    RangeEncoder enc;
+    std::vector<std::pair<Prob, int>> symbols;
+    for (int i = 0; i < 3000; ++i) {
+        const Prob p = (i % 2) ? Prob(1) : Prob(255);
+        const int b = (i % 3) ? 1 : 0;
+        symbols.emplace_back(p, b);
+        enc.encodeBit(p, b);
+    }
+    auto bytes = enc.finish();
+    RangeDecoder dec(bytes);
+    for (const auto &[p, b] : symbols)
+        ASSERT_EQ(dec.decodeBit(p), b);
+}
+
+} // namespace
+} // namespace wsva::video::codec

@@ -1,0 +1,104 @@
+#include "video/codec/temporal_filter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "video/metrics.h"
+#include "video/synth.h"
+
+namespace wsva::video::codec {
+namespace {
+
+std::vector<Frame>
+noisyStaticClip(int n, double sigma, uint64_t seed)
+{
+    SynthSpec spec;
+    spec.width = 64;
+    spec.height = 48;
+    spec.frame_count = n;
+    spec.detail = 2;
+    spec.objects = 0;
+    spec.motion = 0;
+    spec.noise_sigma = sigma;
+    spec.seed = seed;
+    return generateVideo(spec);
+}
+
+std::vector<Frame>
+cleanStaticClip(int n, uint64_t seed)
+{
+    return noisyStaticClip(n, 0.0, seed);
+}
+
+TEST(TemporalFilter, ReducesNoiseOnStaticContent)
+{
+    auto clean = cleanStaticClip(5, 31);
+    auto noisy = noisyStaticClip(5, 6.0, 31);
+    const Frame filtered = temporalFilter(noisy, 2, 2, 1);
+    const double before = frameMse(clean[2], noisy[2]);
+    const double after = frameMse(clean[2], filtered);
+    EXPECT_LT(after, 0.7 * before);
+}
+
+TEST(TemporalFilter, MoreIterationsFilterMore)
+{
+    auto clean = cleanStaticClip(7, 37);
+    auto noisy = noisyStaticClip(7, 6.0, 37);
+    const Frame one = temporalFilter(noisy, 3, 2, 1);
+    const Frame three = temporalFilter(noisy, 3, 2, 3);
+    EXPECT_LT(frameMse(clean[3], three), frameMse(clean[3], one));
+}
+
+TEST(TemporalFilter, ZeroStrengthIsIdentity)
+{
+    auto noisy = noisyStaticClip(3, 5.0, 5);
+    const Frame out = temporalFilter(noisy, 1, 0, 1);
+    EXPECT_EQ(out, noisy[1]);
+}
+
+TEST(TemporalFilter, SingleFrameClipIsIdentity)
+{
+    auto clip = noisyStaticClip(1, 5.0, 6);
+    const Frame out = temporalFilter(clip, 0, 2, 1);
+    EXPECT_EQ(out, clip[0]);
+}
+
+TEST(TemporalFilter, AlignsMovingContent)
+{
+    // Moving object, no noise: filtering must not smear the object
+    // (motion alignment or rejection should keep MSE small).
+    SynthSpec spec;
+    spec.width = 64;
+    spec.height = 48;
+    spec.frame_count = 5;
+    spec.detail = 1;
+    spec.objects = 1;
+    spec.motion = 4.0;
+    spec.seed = 77;
+    auto frames = generateVideo(spec);
+    const Frame filtered = temporalFilter(frames, 2, 2, 1);
+    EXPECT_LT(frameMse(frames[2], filtered), 12.0);
+}
+
+TEST(TemporalFilter, EdgeCentersUseAvailableNeighbors)
+{
+    auto noisy = noisyStaticClip(4, 5.0, 8);
+    // Center at 0 (no previous) and at the last frame (no next) must
+    // not crash and should still filter somewhat.
+    const Frame first = temporalFilter(noisy, 0, 2, 1);
+    const Frame last = temporalFilter(noisy, 3, 2, 1);
+    EXPECT_NE(first, noisy[0]);
+    EXPECT_NE(last, noisy[3]);
+}
+
+TEST(TemporalFilter, ChromaPassesThrough)
+{
+    auto noisy = noisyStaticClip(3, 5.0, 9);
+    const Frame out = temporalFilter(noisy, 1, 2, 1);
+    // The filter is luma-only (as is the quality-critical path).
+    EXPECT_EQ(out.u(), noisy[1].u());
+    EXPECT_EQ(out.v(), noisy[1].v());
+}
+
+} // namespace
+} // namespace wsva::video::codec

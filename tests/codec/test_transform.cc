@@ -1,0 +1,203 @@
+#include "video/codec/transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+
+namespace wsva::video::codec {
+namespace {
+
+ResidualBlock
+randomResidual(wsva::Rng &rng, int amplitude)
+{
+    ResidualBlock r;
+    for (auto &v : r)
+        v = static_cast<int16_t>(rng.uniformRange(-amplitude, amplitude));
+    return r;
+}
+
+TEST(Dct, DcOfFlatBlock)
+{
+    ResidualBlock flat;
+    flat.fill(100);
+    std::array<int32_t, kTxCoeffs> freq;
+    forwardDct(flat, freq);
+    // Orthonormal DCT: DC = 8 * value.
+    EXPECT_NEAR(freq[0], 800, 2);
+    for (size_t i = 1; i < kTxCoeffs; ++i)
+        ASSERT_NEAR(freq[i], 0, 2) << "coeff " << i;
+}
+
+TEST(Dct, InverseRecoversInput)
+{
+    wsva::Rng rng(9);
+    for (int trial = 0; trial < 50; ++trial) {
+        ResidualBlock in = randomResidual(rng, 255);
+        std::array<int32_t, kTxCoeffs> freq;
+        ResidualBlock out;
+        forwardDct(in, freq);
+        inverseDct(freq, out);
+        for (size_t i = 0; i < kTxCoeffs; ++i)
+            ASSERT_NEAR(in[i], out[i], 2) << "trial " << trial;
+    }
+}
+
+TEST(Dct, LinearityUnderScaling)
+{
+    ResidualBlock in;
+    for (size_t i = 0; i < kTxCoeffs; ++i)
+        in[i] = static_cast<int16_t>((i * 7) % 50);
+    ResidualBlock doubled;
+    for (size_t i = 0; i < kTxCoeffs; ++i)
+        doubled[i] = static_cast<int16_t>(in[i] * 2);
+    std::array<int32_t, kTxCoeffs> f1;
+    std::array<int32_t, kTxCoeffs> f2;
+    forwardDct(in, f1);
+    forwardDct(doubled, f2);
+    for (size_t i = 0; i < kTxCoeffs; ++i)
+        ASSERT_NEAR(f2[i], 2 * f1[i], 4);
+}
+
+TEST(Dct, EnergyConservation)
+{
+    wsva::Rng rng(10);
+    ResidualBlock in = randomResidual(rng, 100);
+    std::array<int32_t, kTxCoeffs> freq;
+    forwardDct(in, freq);
+    double spatial = 0;
+    double spectral = 0;
+    for (size_t i = 0; i < kTxCoeffs; ++i) {
+        spatial += static_cast<double>(in[i]) * in[i];
+        spectral += static_cast<double>(freq[i]) * freq[i];
+    }
+    EXPECT_NEAR(spectral / spatial, 1.0, 0.02);
+}
+
+TEST(Qstep, GrowsExponentially)
+{
+    EXPECT_NEAR(qstep(8) / qstep(0), 2.0, 1e-9);
+    EXPECT_NEAR(qstep(40) / qstep(32), 2.0, 1e-9);
+    EXPECT_LT(qstep(0), 1.0);
+    EXPECT_GT(qstep(63), 150.0);
+}
+
+class QuantRoundTrip : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(QuantRoundTrip, ReconstructionErrorBoundedByQstep)
+{
+    const int qp = GetParam();
+    wsva::Rng rng(100 + static_cast<uint64_t>(qp));
+    ResidualBlock in = randomResidual(rng, 200);
+    CoeffBlock levels;
+    ResidualBlock recon;
+    transformQuantize(in, qp, 0.5, levels, recon);
+    const double step = qstep(qp);
+    // Per-coefficient quantization error is <= step/2; the spatial-
+    // domain error at any sample is a signed combination of 64 such
+    // errors, so allow a few multiples of the step.
+    for (size_t i = 0; i < kTxCoeffs; ++i) {
+        ASSERT_NEAR(in[i], recon[i], 3.0 * step + 4)
+            << "qp " << qp << " index " << i;
+    }
+    // And the block-level RMS error must be well under one step.
+    double sse = 0;
+    for (size_t i = 0; i < kTxCoeffs; ++i) {
+        const double d = static_cast<double>(in[i]) - recon[i];
+        sse += d * d;
+    }
+    EXPECT_LE(std::sqrt(sse / kTxCoeffs), step);
+}
+
+TEST_P(QuantRoundTrip, HigherQpNeverMoreNonzeros)
+{
+    const int qp = GetParam();
+    if (qp + 8 > kMaxQp)
+        GTEST_SKIP();
+    wsva::Rng rng(200 + static_cast<uint64_t>(qp));
+    ResidualBlock in = randomResidual(rng, 80);
+    CoeffBlock lo_levels;
+    CoeffBlock hi_levels;
+    ResidualBlock scratch;
+    const int nz_lo = transformQuantize(in, qp, 0.4, lo_levels, scratch);
+    const int nz_hi =
+        transformQuantize(in, qp + 8, 0.4, hi_levels, scratch);
+    EXPECT_GE(nz_lo, nz_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(QpSweep, QuantRoundTrip,
+                         testing::Values(0, 8, 16, 24, 32, 40, 48, 56, 63));
+
+TEST(Quant, DeadzoneShrinksLevels)
+{
+    wsva::Rng rng(11);
+    ResidualBlock in = randomResidual(rng, 60);
+    std::array<int32_t, kTxCoeffs> freq;
+    forwardDct(in, freq);
+    CoeffBlock generous;
+    CoeffBlock strict;
+    quantize(freq, 30, 0.49, generous);
+    quantize(freq, 30, 0.10, strict);
+    int n_gen = 0;
+    int n_strict = 0;
+    for (size_t i = 0; i < kTxCoeffs; ++i) {
+        n_gen += generous[i] != 0;
+        n_strict += strict[i] != 0;
+        ASSERT_LE(std::abs(strict[i]), std::abs(generous[i]));
+    }
+    EXPECT_LE(n_strict, n_gen);
+}
+
+TEST(Quant, ZeroInputStaysZero)
+{
+    ResidualBlock zero;
+    zero.fill(0);
+    CoeffBlock levels;
+    ResidualBlock recon;
+    const int nz = transformQuantize(zero, 20, 0.4, levels, recon);
+    EXPECT_EQ(nz, 0);
+    for (auto v : recon)
+        ASSERT_EQ(v, 0);
+}
+
+TEST(Zigzag, IsAPermutation)
+{
+    std::set<int> seen(zigzagOrder().begin(), zigzagOrder().end());
+    EXPECT_EQ(seen.size(), 64u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 63);
+}
+
+TEST(Zigzag, StartsAlongKnownPath)
+{
+    const auto &z = zigzagOrder();
+    // Standard 8x8 zigzag: 0, 1, 8, 16, 9, 2, 3, 10, ...
+    EXPECT_EQ(z[0], 0);
+    EXPECT_EQ(z[1], 1);
+    EXPECT_EQ(z[2], 8);
+    EXPECT_EQ(z[3], 16);
+    EXPECT_EQ(z[4], 9);
+    EXPECT_EQ(z[5], 2);
+}
+
+TEST(Zigzag, OrdersByFrequencyRadius)
+{
+    // Later scan positions should have, on average, higher u+v.
+    const auto &z = zigzagOrder();
+    double first_half = 0;
+    double second_half = 0;
+    for (int i = 0; i < 32; ++i) {
+        first_half += z[static_cast<size_t>(i)] / 8 +
+                      z[static_cast<size_t>(i)] % 8;
+        second_half += z[static_cast<size_t>(i + 32)] / 8 +
+                       z[static_cast<size_t>(i + 32)] % 8;
+    }
+    EXPECT_LT(first_half, second_half);
+}
+
+} // namespace
+} // namespace wsva::video::codec

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva {
+namespace {
+
+TEST(StrFormat, FormatsPlainText)
+{
+    EXPECT_EQ(strformat("hello"), "hello");
+}
+
+TEST(StrFormat, FormatsNumbers)
+{
+    EXPECT_EQ(strformat("%d + %d = %d", 2, 3, 5), "2 + 3 = 5");
+}
+
+TEST(StrFormat, FormatsFloatsAndStrings)
+{
+    EXPECT_EQ(strformat("%s=%.2f", "pi", 3.14159), "pi=3.14");
+}
+
+TEST(StrFormat, HandlesLongOutput)
+{
+    std::string big(5000, 'x');
+    EXPECT_EQ(strformat("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Assert, PassesOnTrueCondition)
+{
+    WSVA_ASSERT(1 + 1 == 2, "arithmetic works");
+    SUCCEED();
+}
+
+TEST(AssertDeathTest, AbortsOnFalseCondition)
+{
+    EXPECT_DEATH(WSVA_ASSERT(false, "value was %d", 42), "value was 42");
+}
+
+TEST(PanicDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %s", "now"), "boom now");
+}
+
+TEST(FatalDeathTest, FatalExitsCleanly)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "bad config");
+}
+
+} // namespace
+} // namespace wsva

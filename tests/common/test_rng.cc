@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace wsva {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.nextU32(), b.nextU32());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.nextU32() == b.nextU32();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng rng(7);
+    std::set<uint32_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(8));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const int v = rng.uniformRange(-2, 2);
+        ASSERT_GE(v, -2);
+        ASSERT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformRealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.uniformReal();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealMeanNearHalf)
+{
+    Rng rng(13);
+    double acc = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniformReal();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMeanAndSpread)
+{
+    Rng rng(17);
+    double sum = 0;
+    double sq = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double v = rng.normal(10.0, 3.0);
+        sum += v;
+        sq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.3);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(19);
+    double acc = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.exponential(0.5);
+    EXPECT_NEAR(acc / n, 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(23);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent)
+{
+    Rng parent(29);
+    Rng child1 = parent.fork(1);
+    Rng child2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += child1.nextU32() == child2.nextU32();
+    EXPECT_LT(same, 3);
+}
+
+} // namespace
+} // namespace wsva

@@ -1,0 +1,131 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace wsva {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.min(), 5.0);
+    EXPECT_EQ(s.max(), 5.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, MeanAndVariance)
+{
+    RunningStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat all;
+    RunningStat a;
+    RunningStat b;
+    for (int i = 0; i < 50; ++i) {
+        const double v = i * 0.7 - 3;
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a;
+    a.add(1.0);
+    RunningStat b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(Histogram, BinsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    for (size_t i = 0; i < 10; ++i)
+        EXPECT_EQ(h.binCount(i), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, TracksOutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0);
+    h.add(2.0);
+    h.add(1.0); // Upper edge counts as overflow.
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, QuantileApproximation)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(HistogramDeathTest, RejectsEmptyRange)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "range");
+}
+
+TEST(TimeWeightedStat, ConstantSignal)
+{
+    TimeWeightedStat s;
+    s.set(0.0, 5.0);
+    EXPECT_DOUBLE_EQ(s.average(10.0), 5.0);
+}
+
+TEST(TimeWeightedStat, StepSignal)
+{
+    TimeWeightedStat s;
+    s.set(0.0, 0.0);
+    s.set(5.0, 1.0);
+    // Half the interval at 0, half at 1.
+    EXPECT_DOUBLE_EQ(s.average(10.0), 0.5);
+}
+
+TEST(TimeWeightedStat, WeightsByDuration)
+{
+    TimeWeightedStat s;
+    s.set(0.0, 2.0);
+    s.set(1.0, 10.0);
+    // 1s at 2.0, 3s at 10.0 -> (2 + 30) / 4 = 8.
+    EXPECT_DOUBLE_EQ(s.average(4.0), 8.0);
+}
+
+} // namespace
+} // namespace wsva

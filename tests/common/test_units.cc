@@ -1,0 +1,31 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva {
+namespace {
+
+TEST(Units, BinarySizes)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Units, BitrateConversions)
+{
+    EXPECT_DOUBLE_EQ(mbps(35.0), 35e6);
+    EXPECT_DOUBLE_EQ(gbps(100.0), 100e9);
+    EXPECT_DOUBLE_EQ(gibPerSec(2.0), 2.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Units, PixelThroughput)
+{
+    // One 2160p60 stream is ~0.5 Gpix/s.
+    const double pps = 3840.0 * 2160.0 * 60.0;
+    EXPECT_NEAR(toGpixPerSec(pps), 0.4977, 1e-3);
+    EXPECT_NEAR(toMpixPerSec(pps), 497.7, 0.1);
+}
+
+} // namespace
+} // namespace wsva

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Cross-module integration tests: the full platform pipeline on the
+ * vbench corpus, cluster simulation fed by the traffic generators,
+ * chip + firmware running a MOT-shaped command graph, and the
+ * popularity policy driving the transcode treatment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "platform/pipeline.h"
+#include "video/codec/decoder.h"
+#include "platform/popularity.h"
+#include "vcu/firmware.h"
+#include "video/metrics.h"
+#include "workload/traffic.h"
+#include "workload/vbench.h"
+
+namespace wsva {
+namespace {
+
+using namespace wsva::platform;
+using namespace wsva::workload;
+using wsva::video::codec::CodecType;
+using wsva::video::codec::RcMode;
+
+TEST(EndToEnd, VbenchClipThroughMotLadderOnVcuProfile)
+{
+    const auto corpus = vbenchCorpus(128, 12);
+    const auto clip =
+        wsva::video::generateVideo(vbenchClip(corpus, "bike").spec);
+
+    PipelineConfig cfg;
+    cfg.chunk_frames = 6;
+    cfg.encoder.rc_mode = RcMode::TwoPassOffline;
+    cfg.encoder.target_bitrate_bps = 400e3;
+    cfg.encoder.hardware = true; // VCU tool set end to end.
+    cfg.encoder.tuning_level = 8;
+
+    const std::vector<wsva::video::Resolution> ladder = {{128, 72},
+                                                         {64, 36}};
+    const auto result = transcodeMot(clip, ladder, CodecType::VP9, cfg);
+    ASSERT_TRUE(result.integrity_ok) << result.integrity_error;
+    for (const auto &variant : result.variants) {
+        const auto frames = assembleVariant(variant, clip.size());
+        ASSERT_EQ(frames.size(), clip.size());
+    }
+}
+
+TEST(EndToEnd, PopularityDrivesCodecSelection)
+{
+    const auto corpus = vbenchCorpus(96, 6);
+    const auto clip = wsva::video::generateVideo(
+        vbenchClip(corpus, "presentation").spec);
+
+    PipelineConfig cfg;
+    cfg.chunk_frames = 6;
+    cfg.encoder.base_qp = 36;
+
+    for (const auto bucket :
+         {PopularityBucket::Popular, PopularityBucket::LongTail}) {
+        const auto treatment = treatmentFor(bucket, true);
+        size_t produced = 0;
+        for (const auto codec : treatment.codecs) {
+            const auto result =
+                transcodeSot(clip, {96, 54}, codec, cfg);
+            ASSERT_TRUE(result.integrity_ok);
+            ++produced;
+        }
+        EXPECT_EQ(produced, treatment.codecs.size());
+    }
+}
+
+TEST(EndToEnd, UploadTrafficDrivesClusterToSteadyState)
+{
+    wsva::cluster::ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 6;
+    cfg.seed = 5;
+    wsva::cluster::ClusterSim sim(cfg);
+
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 1.0;
+    traffic.seed = 6;
+    UploadTraffic gen(traffic);
+    const auto m = sim.run(900.0, 1.0, gen.asArrivalFn());
+    EXPECT_GT(m.steps_completed, 100u);
+    EXPECT_EQ(m.corrupt_escaped, 0u);
+    EXPECT_GT(m.mpix_per_vcu, 0.0);
+}
+
+TEST(EndToEnd, LiveTrafficMeetsRealtimeOnCluster)
+{
+    wsva::cluster::ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 4;
+    cfg.seed = 7;
+    wsva::cluster::ClusterSim sim(cfg);
+
+    LiveTrafficConfig traffic;
+    traffic.concurrent_streams = 6;
+    traffic.segment_seconds = 2.0;
+    LiveTraffic gen(traffic);
+    const auto m = sim.run(600.0, 0.5, gen.asArrivalFn());
+    // Real-time requirement: the backlog must not accumulate.
+    EXPECT_LT(m.backlog_remaining, 12u);
+    EXPECT_GT(m.steps_completed, 1500u);
+}
+
+TEST(EndToEnd, FirmwareRunsMotShapedGraph)
+{
+    // A MOT on the chip: copy in, decode, six encodes, barrier,
+    // copy out — expressed through the four firmware commands.
+    wsva::vcu::VcuChip chip;
+    wsva::vcu::Firmware fw(chip);
+    const int q = fw.createQueue();
+
+    uint64_t next_id = 1;
+    wsva::vcu::Command copy_in;
+    copy_in.kind = wsva::vcu::CmdKind::CopyToDevice;
+    copy_in.id = next_id++;
+    copy_in.bytes = 64ull << 20;
+    fw.enqueue(q, copy_in);
+
+    wsva::vcu::Command decode;
+    decode.kind = wsva::vcu::CmdKind::RunOnCore;
+    decode.id = next_id++;
+    decode.op.id = decode.id;
+    decode.op.kind = wsva::vcu::OpKind::Decode;
+    decode.op.core_seconds = 0.2;
+    decode.op.dram_gibps = 2.2;
+    decode.op.dram_bytes = 140ull << 20;
+    fw.enqueue(q, decode);
+
+    for (int rung = 0; rung < 6; ++rung) {
+        wsva::vcu::Command enc;
+        enc.kind = wsva::vcu::CmdKind::RunOnCore;
+        enc.id = next_id++;
+        enc.op.id = enc.id;
+        enc.op.kind = wsva::vcu::OpKind::Encode;
+        enc.op.core_seconds = 0.5;
+        enc.op.dram_gibps = 2.0;
+        enc.op.dram_bytes = 80ull << 20;
+        fw.enqueue(q, enc);
+    }
+
+    wsva::vcu::Command barrier;
+    barrier.kind = wsva::vcu::CmdKind::WaitForDone;
+    barrier.id = next_id++;
+    fw.enqueue(q, barrier);
+
+    wsva::vcu::Command copy_out;
+    copy_out.kind = wsva::vcu::CmdKind::CopyFromDevice;
+    copy_out.id = next_id++;
+    copy_out.bytes = 8ull << 20;
+    fw.enqueue(q, copy_out);
+
+    std::vector<uint64_t> done;
+    for (int tick = 0; tick < 40 && done.size() < 9; ++tick)
+        fw.advance(0.1, done);
+    EXPECT_EQ(done.size(), 9u); // 2 copies + 7 ops.
+    EXPECT_EQ(fw.pending(), 0u);
+    EXPECT_TRUE(chip.idle());
+}
+
+TEST(EndToEnd, CorpusWideSmokeEncode)
+{
+    // Every corpus clip must survive a full VCU-profile round trip.
+    const auto corpus = vbenchCorpus(96, 6);
+    for (const auto &entry : corpus) {
+        const auto clip = wsva::video::generateVideo(entry.spec);
+        wsva::video::codec::EncoderConfig cfg;
+        cfg.codec = CodecType::VP9;
+        cfg.width = entry.spec.width;
+        cfg.height = entry.spec.height;
+        cfg.base_qp = 36;
+        cfg.gop_length = 6;
+        cfg.hardware = true;
+        const auto chunk = wsva::video::codec::encodeSequence(cfg, clip);
+        const auto decoded =
+            wsva::video::codec::decodeChunk(chunk.bytes);
+        ASSERT_TRUE(decoded.has_value()) << entry.name;
+        ASSERT_EQ(decoded->frames.size(), clip.size()) << entry.name;
+        EXPECT_GT(wsva::video::sequencePsnr(clip, decoded->frames), 24.0)
+            << entry.name;
+    }
+}
+
+} // namespace
+} // namespace wsva

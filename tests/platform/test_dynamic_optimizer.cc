@@ -1,0 +1,91 @@
+#include "platform/dynamic_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "video/codec/decoder.h"
+#include "video/synth.h"
+
+namespace wsva::platform {
+namespace {
+
+std::vector<wsva::video::Frame>
+clip()
+{
+    wsva::video::SynthSpec spec;
+    spec.width = 80;
+    spec.height = 48;
+    spec.frame_count = 8;
+    spec.detail = 2;
+    spec.objects = 2;
+    spec.motion = 2.0;
+    spec.seed = 77;
+    return generateVideo(spec);
+}
+
+DynamicOptimizerConfig
+fastCfg()
+{
+    DynamicOptimizerConfig cfg;
+    cfg.probe_qps = {24, 36, 48};
+    return cfg;
+}
+
+TEST(DynamicOptimizer, CurveIsMonotone)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    ASSERT_EQ(curve.points.size(), 3u);
+    // Ascending qp -> descending bitrate and psnr.
+    for (size_t i = 1; i < curve.points.size(); ++i) {
+        EXPECT_LT(curve.points[i].bitrate_bps,
+                  curve.points[i - 1].bitrate_bps);
+        EXPECT_LT(curve.points[i].psnr_db, curve.points[i - 1].psnr_db);
+    }
+}
+
+TEST(DynamicOptimizer, CheapestAtQualityPicksMinimalRate)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    // A target between the qp=36 and qp=24 points must pick qp=36's
+    // neighborhood, not overspend on qp=24.
+    const double target = curve.points[1].psnr_db - 0.1;
+    const auto &chosen = curve.cheapestAtQuality(target);
+    EXPECT_GE(chosen.psnr_db, target);
+    EXPECT_EQ(chosen.qp, curve.points[1].qp);
+}
+
+TEST(DynamicOptimizer, UnreachableQualityFallsBackToBest)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    const auto &chosen = curve.cheapestAtQuality(99.0);
+    EXPECT_EQ(chosen.qp, curve.points[0].qp); // Highest quality probe.
+}
+
+TEST(DynamicOptimizer, BestUnderRateRespectsCap)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    const double cap = curve.points[1].bitrate_bps * 1.01;
+    const auto &chosen = curve.bestUnderRate(cap);
+    EXPECT_LE(chosen.bitrate_bps, cap);
+    EXPECT_EQ(chosen.qp, curve.points[1].qp);
+}
+
+TEST(DynamicOptimizer, ImpossibleCapFallsBackToCheapest)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    const auto &chosen = curve.bestUnderRate(1.0);
+    EXPECT_EQ(chosen.qp, curve.points.back().qp);
+}
+
+TEST(DynamicOptimizer, SelectedPointCarriesDecodableStream)
+{
+    const auto curve = buildRateQualityCurve(clip(), fastCfg());
+    const auto &chosen = curve.cheapestAtQuality(30.0);
+    EXPECT_FALSE(chosen.chunk.bytes.empty());
+    const auto decoded =
+        wsva::video::codec::decodeChunk(chosen.chunk.bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frames.size(), 8u);
+}
+
+} // namespace
+} // namespace wsva::platform

@@ -1,0 +1,139 @@
+#include "platform/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "video/codec/decoder.h"
+#include "video/metrics.h"
+#include "video/synth.h"
+
+namespace wsva::platform {
+namespace {
+
+using wsva::video::generateVideo;
+using wsva::video::SynthSpec;
+
+std::vector<Frame>
+sourceClip(int frames = 24)
+{
+    SynthSpec spec;
+    spec.width = 128;
+    spec.height = 72;
+    spec.frame_count = frames;
+    spec.detail = 2;
+    spec.objects = 2;
+    spec.motion = 2.0;
+    spec.seed = 5;
+    return generateVideo(spec);
+}
+
+PipelineConfig
+fastConfig()
+{
+    PipelineConfig cfg;
+    cfg.encoder.rc_mode = wsva::video::codec::RcMode::ConstQp;
+    cfg.encoder.base_qp = 34;
+    cfg.encoder.fps = 30.0;
+    cfg.chunk_frames = 8;
+    return cfg;
+}
+
+TEST(Chunking, SplitsEvenly)
+{
+    auto chunks = chunkFrames(sourceClip(24), 8);
+    ASSERT_EQ(chunks.size(), 3u);
+    for (const auto &c : chunks)
+        EXPECT_EQ(c.size(), 8u);
+}
+
+TEST(Chunking, LastChunkMayBeShort)
+{
+    auto chunks = chunkFrames(sourceClip(10), 8);
+    ASSERT_EQ(chunks.size(), 2u);
+    EXPECT_EQ(chunks[0].size(), 8u);
+    EXPECT_EQ(chunks[1].size(), 2u);
+}
+
+TEST(Pipeline, SotProducesOneDecodableVariant)
+{
+    auto clip = sourceClip();
+    auto result =
+        transcodeSot(clip, {128, 72}, CodecType::VP9, fastConfig());
+    ASSERT_TRUE(result.integrity_ok) << result.integrity_error;
+    ASSERT_EQ(result.variants.size(), 1u);
+    auto frames = assembleVariant(result.variants[0], clip.size());
+    ASSERT_EQ(frames.size(), clip.size());
+    EXPECT_GT(wsva::video::sequencePsnr(clip, frames), 28.0);
+}
+
+TEST(Pipeline, MotProducesLadder)
+{
+    auto clip = sourceClip(16);
+    // 128x72 input is below 144p, so build an explicit mini-ladder.
+    std::vector<Resolution> outputs = {{128, 72}, {64, 36}};
+    auto result =
+        transcodeMot(clip, outputs, CodecType::H264, fastConfig());
+    ASSERT_TRUE(result.integrity_ok) << result.integrity_error;
+    ASSERT_EQ(result.variants.size(), 2u);
+    EXPECT_EQ(result.variants[1].resolution.width, 64);
+    // Lower rung costs fewer bits.
+    EXPECT_LT(result.variants[1].totalBytes(),
+              result.variants[0].totalBytes());
+}
+
+TEST(Pipeline, ChunksAreIndependentlyDecodable)
+{
+    auto clip = sourceClip(24);
+    auto result =
+        transcodeSot(clip, {128, 72}, CodecType::VP9, fastConfig());
+    ASSERT_TRUE(result.integrity_ok);
+    const auto &variant = result.variants[0];
+    ASSERT_EQ(variant.chunks.size(), 3u);
+    // Decode only the middle chunk: must succeed on its own (closed
+    // GOPs are the unit of parallelism).
+    auto decoded =
+        wsva::video::codec::decodeChunk(variant.chunks[1].bytes);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->frames.size(), 8u);
+}
+
+TEST(Pipeline, IntegrityCatchesCorruptChunk)
+{
+    auto clip = sourceClip(16);
+    auto result =
+        transcodeSot(clip, {128, 72}, CodecType::VP9, fastConfig());
+    ASSERT_TRUE(result.integrity_ok);
+    auto variant = result.variants[0];
+    variant.chunks[1].bytes.resize(4); // Corrupt the container.
+    std::string error;
+    auto frames = assembleVariant(variant, clip.size(), &error);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_NE(error.find("chunk 1"), std::string::npos);
+}
+
+TEST(Pipeline, IntegrityCatchesLengthMismatch)
+{
+    auto clip = sourceClip(16);
+    auto result =
+        transcodeSot(clip, {128, 72}, CodecType::VP9, fastConfig());
+    auto variant = result.variants[0];
+    variant.chunks.pop_back(); // Drop a chunk: length check fires.
+    std::string error;
+    auto frames = assembleVariant(variant, clip.size(), &error);
+    EXPECT_TRUE(frames.empty());
+    EXPECT_NE(error.find("length mismatch"), std::string::npos);
+}
+
+TEST(Pipeline, RateControlledMotSharesStats)
+{
+    auto clip = sourceClip(16);
+    PipelineConfig cfg = fastConfig();
+    cfg.encoder.rc_mode = wsva::video::codec::RcMode::TwoPassOffline;
+    cfg.encoder.target_bitrate_bps = 250e3;
+    auto result = transcodeMot(clip, {{128, 72}, {64, 36}},
+                               CodecType::VP9, cfg);
+    ASSERT_TRUE(result.integrity_ok) << result.integrity_error;
+    EXPECT_GT(result.variants[0].bitrateBps(), 0.0);
+}
+
+} // namespace
+} // namespace wsva::platform

@@ -1,0 +1,86 @@
+#include "platform/popularity.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::platform {
+namespace {
+
+using wsva::video::codec::CodecType;
+
+TEST(Popularity, StretchedPowerLawShape)
+{
+    wsva::Rng rng(3);
+    int popular = 0;
+    int moderate = 0;
+    int tail = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        switch (bucketForWatchCount(sampleWatchCount(rng))) {
+          case PopularityBucket::Popular: ++popular; break;
+          case PopularityBucket::Moderate: ++moderate; break;
+          case PopularityBucket::LongTail: ++tail; break;
+        }
+    }
+    // The long tail is the majority of videos; the popular bucket is
+    // a small fraction (Section 2.2).
+    EXPECT_GT(tail, n / 2);
+    EXPECT_LT(popular, n / 10);
+    EXPECT_GT(popular, 0);
+    EXPECT_GT(moderate, n / 50);
+}
+
+TEST(Popularity, BucketThresholds)
+{
+    EXPECT_EQ(bucketForWatchCount(0), PopularityBucket::LongTail);
+    EXPECT_EQ(bucketForWatchCount(99), PopularityBucket::LongTail);
+    EXPECT_EQ(bucketForWatchCount(100), PopularityBucket::Moderate);
+    EXPECT_EQ(bucketForWatchCount(99999), PopularityBucket::Moderate);
+    EXPECT_EQ(bucketForWatchCount(100000), PopularityBucket::Popular);
+}
+
+TEST(Popularity, AccelerationUnlocksVp9ForModerate)
+{
+    // The headline Section-4.5 capability: without VCUs only the
+    // most popular videos got VP9; with VCUs it moves to upload time
+    // for the moderate bucket too.
+    const auto before =
+        treatmentFor(PopularityBucket::Moderate, /*accelerated=*/false);
+    const auto after =
+        treatmentFor(PopularityBucket::Moderate, /*accelerated=*/true);
+    auto has_vp9 = [](const Treatment &t) {
+        for (auto c : t.codecs)
+            if (c == CodecType::VP9)
+                return true;
+        return false;
+    };
+    EXPECT_FALSE(has_vp9(before));
+    EXPECT_TRUE(has_vp9(after));
+}
+
+TEST(Popularity, PopularAlwaysGetsVp9)
+{
+    for (bool acc : {false, true}) {
+        const auto t = treatmentFor(PopularityBucket::Popular, acc);
+        EXPECT_EQ(t.codecs.size(), 2u);
+        EXPECT_EQ(t.rdo_rounds, 3);
+    }
+}
+
+TEST(Popularity, LongTailStaysCheap)
+{
+    const auto t = treatmentFor(PopularityBucket::LongTail, true);
+    EXPECT_EQ(t.codecs.size(), 1u);
+    EXPECT_EQ(t.codecs[0], CodecType::H264);
+    EXPECT_EQ(t.rdo_rounds, 1);
+}
+
+TEST(Popularity, SamplerIsDeterministic)
+{
+    wsva::Rng a(9);
+    wsva::Rng b(9);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(sampleWatchCount(a), sampleWatchCount(b));
+}
+
+} // namespace
+} // namespace wsva::platform

@@ -1,0 +1,170 @@
+#include "vcu/chip.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::vcu {
+namespace {
+
+VcuOp
+makeOp(uint64_t id, OpKind kind, double secs, double bw = 1.0,
+       uint64_t bytes = 100 << 20)
+{
+    VcuOp op;
+    op.id = id;
+    op.kind = kind;
+    op.core_seconds = secs;
+    op.dram_gibps = bw;
+    op.dram_bytes = bytes;
+    return op;
+}
+
+TEST(Chip, SingleOpCompletesOnTime)
+{
+    VcuChip chip;
+    ASSERT_TRUE(chip.submit(makeOp(1, OpKind::Encode, 2.0)));
+    std::vector<uint64_t> done;
+    chip.advance(1.0, done);
+    EXPECT_TRUE(done.empty());
+    chip.advance(1.01, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 1u);
+    EXPECT_TRUE(chip.idle());
+}
+
+TEST(Chip, TenEncodesRunConcurrently)
+{
+    VcuChip chip;
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(chip.submit(makeOp(i, OpKind::Encode, 1.0)));
+    EXPECT_EQ(chip.busyEncoderCores(), 10);
+    EXPECT_DOUBLE_EQ(chip.encoderUtilization(), 1.0);
+    std::vector<uint64_t> done;
+    chip.advance(1.01, done);
+    EXPECT_EQ(done.size(), 10u);
+}
+
+TEST(Chip, EleventhEncodeQueues)
+{
+    VcuChip chip;
+    for (uint64_t i = 0; i < 11; ++i)
+        ASSERT_TRUE(chip.submit(makeOp(i, OpKind::Encode, 1.0)));
+    EXPECT_EQ(chip.busyEncoderCores(), 10);
+    EXPECT_EQ(chip.queuedOps(), 1u);
+    std::vector<uint64_t> done;
+    chip.advance(1.01, done);
+    EXPECT_EQ(done.size(), 10u);
+    EXPECT_EQ(chip.busyEncoderCores(), 1);
+    chip.advance(1.01, done);
+    EXPECT_EQ(done.size(), 11u);
+}
+
+TEST(Chip, DecoderCoresSeparateFromEncoderCores)
+{
+    VcuChip chip;
+    for (uint64_t i = 0; i < 3; ++i)
+        ASSERT_TRUE(chip.submit(makeOp(100 + i, OpKind::Decode, 1.0)));
+    ASSERT_TRUE(chip.submit(makeOp(1, OpKind::Encode, 1.0)));
+    EXPECT_EQ(chip.busyDecoderCores(), 3);
+    EXPECT_EQ(chip.busyEncoderCores(), 1);
+    EXPECT_DOUBLE_EQ(chip.decoderUtilization(), 1.0);
+}
+
+TEST(Chip, BandwidthContentionSlowsOps)
+{
+    // 10 ops each demanding 10 GiB/s against ~32 usable: ~3.2x slow.
+    VcuChip chip;
+    std::vector<uint64_t> done;
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(chip.submit(makeOp(i, OpKind::Encode, 1.0, 10.0)));
+    chip.advance(1.5, done);
+    EXPECT_TRUE(done.empty()); // Would be done if uncontended.
+    chip.advance(2.0, done);
+    EXPECT_EQ(done.size(), 10u); // ~3.09s total at 32.4/100 of speed.
+}
+
+TEST(Chip, DramFootprintLimitsAdmission)
+{
+    VcuChip chip;
+    // 8 GiB capacity: 11 x 700 MiB fits, 12 does not.
+    for (uint64_t i = 0; i < 11; ++i) {
+        ASSERT_TRUE(chip.submit(
+            makeOp(i, OpKind::Encode, 1.0, 1.0, 700ull << 20)));
+    }
+    EXPECT_FALSE(
+        chip.submit(makeOp(99, OpKind::Encode, 1.0, 1.0, 700ull << 20)));
+    // Completion releases capacity.
+    std::vector<uint64_t> done;
+    chip.advance(5.0, done);
+    EXPECT_TRUE(
+        chip.submit(makeOp(99, OpKind::Encode, 1.0, 1.0, 700ull << 20)));
+}
+
+TEST(Chip, FailedCoreReducesCapacity)
+{
+    VcuChip chip;
+    chip.failEncoderCore();
+    chip.failEncoderCore();
+    EXPECT_EQ(chip.usableEncoderCores(), 8);
+    for (uint64_t i = 0; i < 10; ++i)
+        ASSERT_TRUE(chip.submit(makeOp(i, OpKind::Encode, 1.0)));
+    EXPECT_EQ(chip.busyEncoderCores(), 8);
+    EXPECT_EQ(chip.queuedOps(), 2u);
+}
+
+TEST(Chip, DisableRejectsAndClears)
+{
+    VcuChip chip;
+    ASSERT_TRUE(chip.submit(makeOp(1, OpKind::Encode, 1.0)));
+    chip.disable();
+    EXPECT_TRUE(chip.disabled());
+    EXPECT_FALSE(chip.submit(makeOp(2, OpKind::Encode, 1.0)));
+    EXPECT_EQ(chip.usableEncoderCores(), 0);
+    std::vector<uint64_t> done;
+    chip.advance(10.0, done);
+    EXPECT_TRUE(done.empty()); // In-flight work was lost, not done.
+}
+
+TEST(Chip, GoldenCheckPassesHealthy)
+{
+    VcuChip chip;
+    EXPECT_TRUE(chip.runGoldenCheck());
+    EXPECT_EQ(chip.telemetry().resets, 1u);
+}
+
+TEST(Chip, GoldenCheckCatchesSilentFault)
+{
+    VcuChip chip;
+    chip.setSilentFault(true);
+    EXPECT_FALSE(chip.runGoldenCheck());
+}
+
+TEST(Chip, GoldenCheckCatchesUncorrectableEcc)
+{
+    VcuChip chip;
+    chip.recordUncorrectableEcc();
+    EXPECT_FALSE(chip.runGoldenCheck());
+}
+
+TEST(Chip, TelemetryTracksEcc)
+{
+    VcuChip chip;
+    chip.recordCorrectableEcc(5);
+    chip.recordUncorrectableEcc(2);
+    EXPECT_EQ(chip.telemetry().correctable_ecc, 5u);
+    EXPECT_EQ(chip.telemetry().uncorrectable_ecc, 2u);
+}
+
+TEST(Chip, TemperatureRisesUnderLoad)
+{
+    VcuChip chip;
+    const double idle_temp = chip.telemetry().temperature_c;
+    for (uint64_t i = 0; i < 10; ++i)
+        chip.submit(makeOp(i, OpKind::Encode, 100.0));
+    std::vector<uint64_t> done;
+    for (int t = 0; t < 50; ++t)
+        chip.advance(0.5, done);
+    EXPECT_GT(chip.telemetry().temperature_c, idle_temp + 10.0);
+}
+
+} // namespace
+} // namespace wsva::vcu

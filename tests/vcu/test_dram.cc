@@ -1,0 +1,88 @@
+#include "vcu/dram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace wsva::vcu {
+namespace {
+
+TEST(Bandwidth, UnderSubscribedGetsFullDemand)
+{
+    const auto g = allocateBandwidth(30.0, {5.0, 10.0, 3.0});
+    EXPECT_DOUBLE_EQ(g[0], 5.0);
+    EXPECT_DOUBLE_EQ(g[1], 10.0);
+    EXPECT_DOUBLE_EQ(g[2], 3.0);
+}
+
+TEST(Bandwidth, OverSubscribedEvenSplit)
+{
+    const auto g = allocateBandwidth(12.0, {10.0, 10.0, 10.0});
+    EXPECT_NEAR(g[0], 4.0, 1e-9);
+    EXPECT_NEAR(g[1], 4.0, 1e-9);
+    EXPECT_NEAR(g[2], 4.0, 1e-9);
+}
+
+TEST(Bandwidth, MaxMinProtectsLightRequesters)
+{
+    // The light requester (2) gets its full demand; the heavy ones
+    // split the remaining 10 evenly.
+    const auto g = allocateBandwidth(12.0, {2.0, 50.0, 50.0});
+    EXPECT_NEAR(g[0], 2.0, 1e-9);
+    EXPECT_NEAR(g[1], 5.0, 1e-9);
+    EXPECT_NEAR(g[2], 5.0, 1e-9);
+}
+
+TEST(Bandwidth, GrantsNeverExceedDemandOrCapacity)
+{
+    const std::vector<double> demands = {1.0, 7.5, 0.0, 22.0, 13.0};
+    const auto g = allocateBandwidth(20.0, demands);
+    double total = 0.0;
+    for (size_t i = 0; i < g.size(); ++i) {
+        EXPECT_LE(g[i], demands[i] + 1e-9);
+        total += g[i];
+    }
+    EXPECT_LE(total, 20.0 + 1e-9);
+}
+
+TEST(Bandwidth, ZeroDemandZeroGrant)
+{
+    const auto g = allocateBandwidth(10.0, {0.0, 0.0});
+    EXPECT_DOUBLE_EQ(g[0], 0.0);
+    EXPECT_DOUBLE_EQ(g[1], 0.0);
+}
+
+TEST(Bandwidth, EmptyDemands)
+{
+    EXPECT_TRUE(allocateBandwidth(10.0, {}).empty());
+}
+
+TEST(DramConfig, PaperNumbers)
+{
+    DramConfig cfg;
+    // ~36 GiB/s raw from four 32b LPDDR4-3200 channels.
+    EXPECT_NEAR(cfg.raw_gibps, 36.0, 1.0);
+    EXPECT_EQ(cfg.capacity_bytes, 8ull << 30);
+}
+
+TEST(DramCapacity, ReserveRelease)
+{
+    DramCapacity cap(1000);
+    EXPECT_TRUE(cap.reserve(600));
+    EXPECT_FALSE(cap.reserve(500));
+    EXPECT_TRUE(cap.reserve(400));
+    EXPECT_DOUBLE_EQ(cap.utilization(), 1.0);
+    cap.release(600);
+    EXPECT_EQ(cap.used(), 400u);
+    EXPECT_TRUE(cap.reserve(100));
+}
+
+TEST(DramCapacityDeathTest, OverReleasePanics)
+{
+    DramCapacity cap(100);
+    ASSERT_TRUE(cap.reserve(10));
+    EXPECT_DEATH(cap.release(20), "more DRAM");
+}
+
+} // namespace
+} // namespace wsva::vcu

@@ -1,0 +1,161 @@
+#include "vcu/encoder_core.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::vcu {
+namespace {
+
+using wsva::video::codec::CodecType;
+
+TEST(EncoderCore, Meets2160p60RealtimeCalibration)
+{
+    // Section 3.3.1: "Each encoder core can encode 2160p in real-
+    // time, up to 60 FPS using three reference frames."
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 3840;
+    job.height = 2160;
+    job.fps = 60.0;
+    job.frame_count = 60;
+    job.codec = CodecType::VP9;
+    job.num_refs = 3;
+    const auto est = core.estimate(job);
+    EXPECT_TRUE(est.realtime);
+    // ~0.5 Gpix/s equivalent throughput.
+    EXPECT_NEAR(est.pixels_per_second / 1e9, 0.5, 0.1);
+}
+
+TEST(EncoderCore, ThroughputScalesNearLinearlyWithPixels)
+{
+    EncoderCoreModel core;
+    EncodeJob big;
+    big.width = 1920;
+    big.height = 1080;
+    big.frame_count = 30;
+    EncodeJob small = big;
+    small.width = 960;
+    small.height = 540;
+    const auto eb = core.estimate(big);
+    const auto es = core.estimate(small);
+    // 4x fewer pixels -> ~4x faster (within pipeline fill effects).
+    EXPECT_NEAR(eb.seconds / es.seconds, 4.0, 0.5);
+}
+
+TEST(EncoderCore, DramBandwidthMatchesPaperEnvelope)
+{
+    // 2160p60: raw ~3.5 GiB/s; with reference compression typical
+    // ~2 GiB/s (Section 3.3.1). Our model should land in that range.
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 3840;
+    job.height = 2160;
+    job.fps = 60.0;
+    job.frame_count = 60;
+    job.num_refs = 3;
+    const auto est = core.estimate(job);
+    const double total = est.dram_read_gibps + est.dram_write_gibps;
+    EXPECT_GT(total, 1.5);
+    EXPECT_LT(total, 3.5);
+}
+
+TEST(EncoderCore, Vp9CostsMoreThanH264)
+{
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 1280;
+    job.height = 720;
+    job.frame_count = 10;
+    job.codec = CodecType::H264;
+    const double h264 = core.estimate(job).seconds;
+    job.codec = CodecType::VP9;
+    const double vp9 = core.estimate(job).seconds;
+    EXPECT_GT(vp9, h264 * 1.1);
+}
+
+TEST(EncoderCore, MoreReferencesCostMore)
+{
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 1280;
+    job.height = 720;
+    job.frame_count = 10;
+    job.num_refs = 1;
+    const double one = core.estimate(job).seconds;
+    job.num_refs = 3;
+    const double three = core.estimate(job).seconds;
+    EXPECT_GT(three, one * 1.05);
+}
+
+TEST(EncoderCore, TwoPassCostsMore)
+{
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 1280;
+    job.height = 720;
+    job.frame_count = 10;
+    job.two_pass = false;
+    const double single = core.estimate(job).seconds;
+    job.two_pass = true;
+    const double dual = core.estimate(job).seconds;
+    EXPECT_NEAR(dual / single, 1.35, 0.01);
+}
+
+TEST(EncoderCore, PipelineUtilizationIsHigh)
+{
+    // The stage cycles are balanced and FIFOs absorb the mode
+    // variability, so the bottleneck stage should be near-saturated.
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 1920;
+    job.height = 1080;
+    job.frame_count = 1;
+    const auto est = core.estimate(job);
+    EXPECT_GT(est.bottleneck_utilization, 0.9);
+}
+
+TEST(EncoderCore, DeterministicEstimates)
+{
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 640;
+    job.height = 360;
+    job.frame_count = 5;
+    const auto a = core.estimate(job);
+    const auto b = core.estimate(job);
+    EXPECT_EQ(a.seconds, b.seconds);
+}
+
+TEST(EncoderCore, LowLatencySmallFrameNotPipelineStarved)
+{
+    // Even a 144p frame should finish quickly (sub-millisecond).
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 256;
+    job.height = 144;
+    job.frame_count = 1;
+    const auto est = core.estimate(job);
+    EXPECT_LT(est.seconds, 1e-3);
+}
+
+TEST(DecoderCore, FixedRateModel)
+{
+    DecoderCoreConfig cfg;
+    const double t = decodeSeconds(cfg, 1920, 1080, 30);
+    EXPECT_NEAR(t, 1920.0 * 1080 * 30 / cfg.pixel_rate, 1e-9);
+}
+
+TEST(DecoderCore, DecodeFasterThanEncode)
+{
+    // Decoding is orders of magnitude cheaper than encoding.
+    EncoderCoreModel core;
+    EncodeJob job;
+    job.width = 1920;
+    job.height = 1080;
+    job.frame_count = 30;
+    const double enc = core.estimate(job).seconds;
+    const double dec = decodeSeconds(DecoderCoreConfig{}, 1920, 1080, 30);
+    EXPECT_LT(dec, enc);
+}
+
+} // namespace
+} // namespace wsva::vcu

@@ -1,0 +1,106 @@
+#include "vcu/faults.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::vcu {
+namespace {
+
+TEST(Faults, ZeroRatesNeverFault)
+{
+    VcuChip chip;
+    FaultInjector inj(FaultRates{}, 1);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_FALSE(inj.advance(chip, 1.0));
+    EXPECT_FALSE(chip.disabled());
+    EXPECT_EQ(chip.telemetry().correctable_ecc, 0u);
+}
+
+TEST(Faults, HighRateFailsQuickly)
+{
+    VcuChip chip;
+    FaultRates rates;
+    rates.vcu_failure_per_hour = 100.0;
+    FaultInjector inj(rates, 2);
+    bool faulted = false;
+    for (int i = 0; i < 10 && !faulted; ++i)
+        faulted = inj.advance(chip, 1.0);
+    EXPECT_TRUE(faulted);
+    EXPECT_TRUE(chip.disabled());
+}
+
+TEST(Faults, EccEventsAccumulateInTelemetry)
+{
+    VcuChip chip;
+    FaultRates rates;
+    rates.correctable_ecc_per_hour = 10.0;
+    FaultInjector inj(rates, 3);
+    for (int i = 0; i < 100; ++i)
+        inj.advance(chip, 1.0);
+    EXPECT_GT(chip.telemetry().correctable_ecc, 50u);
+    EXPECT_FALSE(chip.disabled()); // Correctable errors only logged.
+}
+
+TEST(Faults, SilentFaultIsNotReportedAsHard)
+{
+    VcuChip chip;
+    FaultRates rates;
+    rates.silent_fault_per_hour = 100.0;
+    FaultInjector inj(rates, 4);
+    bool hard = false;
+    for (int i = 0; i < 10; ++i)
+        hard |= inj.advance(chip, 1.0);
+    EXPECT_FALSE(hard);
+    EXPECT_TRUE(chip.hasSilentFault());
+    // ... but the golden check catches it.
+    EXPECT_FALSE(chip.runGoldenCheck());
+}
+
+TEST(Faults, CoreFailureShrinksChip)
+{
+    VcuChip chip;
+    FaultRates rates;
+    rates.core_failure_per_hour = 50.0;
+    FaultInjector inj(rates, 5);
+    for (int i = 0; i < 20; ++i)
+        inj.advance(chip, 1.0);
+    EXPECT_LT(chip.usableEncoderCores(), 10);
+}
+
+TEST(Faults, RatesScaleWithExposureTime)
+{
+    // Over the same simulated hours, the expected number of faulted
+    // chips is the same whether stepped finely or coarsely.
+    auto count_faults = [](double step, uint64_t seed_base) {
+        int faulted = 0;
+        for (uint64_t v = 0; v < 300; ++v) {
+            VcuChip chip;
+            FaultRates rates;
+            rates.vcu_failure_per_hour = 0.01;
+            FaultInjector inj(rates, seed_base + v);
+            for (double t = 0.0; t < 100.0; t += step)
+                inj.advance(chip, step);
+            faulted += chip.disabled();
+        }
+        return faulted;
+    };
+    const int fine = count_faults(1.0, 1000);
+    const int coarse = count_faults(10.0, 5000);
+    // E = 300 * (1 - exp(-1)) ~ 190 either way; allow sampling noise.
+    EXPECT_NEAR(fine, 190, 40);
+    EXPECT_NEAR(coarse, 190, 40);
+}
+
+TEST(Faults, DisabledChipStopsAccumulating)
+{
+    VcuChip chip;
+    chip.disable();
+    FaultRates rates;
+    rates.correctable_ecc_per_hour = 100.0;
+    FaultInjector inj(rates, 7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(inj.advance(chip, 1.0));
+    EXPECT_EQ(chip.telemetry().correctable_ecc, 0u);
+}
+
+} // namespace
+} // namespace wsva::vcu

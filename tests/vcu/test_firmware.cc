@@ -1,0 +1,163 @@
+#include "vcu/firmware.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace wsva::vcu {
+namespace {
+
+Command
+runCmd(uint64_t id, double secs)
+{
+    Command cmd;
+    cmd.kind = CmdKind::RunOnCore;
+    cmd.id = id;
+    cmd.op.id = id;
+    cmd.op.kind = OpKind::Encode;
+    cmd.op.core_seconds = secs;
+    cmd.op.dram_gibps = 1.0;
+    cmd.op.dram_bytes = 100 << 20;
+    return cmd;
+}
+
+Command
+copyCmd(uint64_t id, uint64_t bytes, bool to_device)
+{
+    Command cmd;
+    cmd.kind = to_device ? CmdKind::CopyToDevice : CmdKind::CopyFromDevice;
+    cmd.id = id;
+    cmd.bytes = bytes;
+    return cmd;
+}
+
+Command
+waitCmd(uint64_t id)
+{
+    Command cmd;
+    cmd.kind = CmdKind::WaitForDone;
+    cmd.id = id;
+    return cmd;
+}
+
+TEST(Firmware, RunCommandCompletes)
+{
+    VcuChip chip;
+    Firmware fw(chip);
+    const int q = fw.createQueue();
+    fw.enqueue(q, runCmd(1, 0.5));
+    std::vector<uint64_t> done;
+    fw.advance(0.6, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 1u);
+    EXPECT_EQ(fw.pending(), 0u);
+}
+
+TEST(Firmware, CopyTakesPcieTime)
+{
+    VcuChip chip;
+    Firmware fw(chip, {10.0}); // 10 GiB/s.
+    const int q = fw.createQueue();
+    fw.enqueue(q, copyCmd(7, 5ull << 30, true)); // 5 GiB -> 0.5 s.
+    std::vector<uint64_t> done;
+    fw.advance(0.4, done);
+    EXPECT_TRUE(done.empty());
+    fw.advance(0.2, done);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], 7u);
+}
+
+TEST(Firmware, WaitForDoneBarriersQueue)
+{
+    VcuChip chip;
+    Firmware fw(chip);
+    const int q = fw.createQueue();
+    fw.enqueue(q, runCmd(1, 1.0));
+    fw.enqueue(q, waitCmd(2));
+    fw.enqueue(q, runCmd(3, 1.0));
+    std::vector<uint64_t> done;
+    fw.advance(0.5, done);
+    // Op 1 is running; op 3 must NOT have been issued yet.
+    EXPECT_EQ(chip.busyEncoderCores(), 1);
+    fw.advance(0.6, done);
+    // Op 1 finished; the barrier opens and op 3 issues.
+    EXPECT_TRUE(std::count(done.begin(), done.end(), 1u));
+    fw.advance(1.1, done);
+    EXPECT_TRUE(std::count(done.begin(), done.end(), 3u));
+}
+
+TEST(Firmware, OpsWithoutBarrierRunConcurrently)
+{
+    VcuChip chip;
+    Firmware fw(chip);
+    const int q = fw.createQueue();
+    fw.enqueue(q, runCmd(1, 1.0));
+    fw.enqueue(q, runCmd(2, 1.0));
+    std::vector<uint64_t> done;
+    fw.advance(1e-6, done);
+    EXPECT_EQ(chip.busyEncoderCores(), 2);
+}
+
+TEST(Firmware, RoundRobinAcrossQueues)
+{
+    // 12 single-op queues onto 10 encoder cores: every queue should
+    // get a turn before any queue gets a second op in.
+    VcuChip chip;
+    Firmware fw(chip);
+    std::vector<int> queues;
+    for (int i = 0; i < 12; ++i)
+        queues.push_back(fw.createQueue());
+    for (int i = 0; i < 12; ++i)
+        fw.enqueue(queues[static_cast<size_t>(i)],
+                   runCmd(static_cast<uint64_t>(i), 1.0));
+    std::vector<uint64_t> done;
+    fw.advance(1e-6, done);
+    EXPECT_EQ(chip.busyEncoderCores(), 10);
+    fw.advance(1.01, done);
+    EXPECT_EQ(done.size(), 10u);
+    fw.advance(1.01, done);
+    EXPECT_EQ(done.size(), 12u);
+}
+
+TEST(Firmware, MultipleProcessesReachFullUtilization)
+{
+    // Section 3.3.2: multiple userspace processes are needed to
+    // saturate a VCU; the firmware multiplexes them.
+    VcuChip chip;
+    Firmware fw(chip);
+    for (int p = 0; p < 5; ++p) {
+        const int q = fw.createQueue();
+        fw.enqueue(q, runCmd(static_cast<uint64_t>(100 + p * 2), 2.0));
+        fw.enqueue(q, runCmd(static_cast<uint64_t>(101 + p * 2), 2.0));
+    }
+    std::vector<uint64_t> done;
+    fw.advance(1e-6, done);
+    EXPECT_DOUBLE_EQ(chip.encoderUtilization(), 1.0);
+}
+
+TEST(Firmware, DestroyQueueDropsPending)
+{
+    VcuChip chip;
+    Firmware fw(chip);
+    const int q = fw.createQueue();
+    fw.enqueue(q, runCmd(1, 1.0));
+    std::vector<uint64_t> done;
+    fw.advance(1e-6, done); // Op 1 issues.
+    fw.enqueue(q, runCmd(2, 1.0));
+    fw.destroyQueue(q);
+    EXPECT_EQ(fw.queueCount(), 0u);
+    fw.advance(2.0, done);
+    // Op 1 still completes on the chip; op 2 was dropped.
+    EXPECT_TRUE(std::count(done.begin(), done.end(), 1u));
+    EXPECT_FALSE(std::count(done.begin(), done.end(), 2u));
+}
+
+TEST(FirmwareDeathTest, BadQueueHandle)
+{
+    VcuChip chip;
+    Firmware fw(chip);
+    EXPECT_DEATH(fw.enqueue(3, runCmd(1, 1.0)), "bad queue");
+}
+
+} // namespace
+} // namespace wsva::vcu

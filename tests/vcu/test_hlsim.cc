@@ -1,0 +1,114 @@
+#include "vcu/hlsim.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::vcu {
+namespace {
+
+TEST(Channel, PushPopFifoOrder)
+{
+    Channel<int> ch(4);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.push(2));
+    EXPECT_EQ(ch.pop(), 1);
+    EXPECT_EQ(ch.pop(), 2);
+}
+
+TEST(Channel, BackpressureWhenFull)
+{
+    Channel<int> ch(2);
+    EXPECT_TRUE(ch.push(1));
+    EXPECT_TRUE(ch.push(2));
+    EXPECT_FALSE(ch.canPush());
+    EXPECT_FALSE(ch.push(3));
+    EXPECT_EQ(ch.pushStalls(), 1u);
+    ch.pop();
+    EXPECT_TRUE(ch.push(3));
+}
+
+TEST(ChannelDeathTest, PopFromEmptyPanics)
+{
+    Channel<int> ch(1, "test");
+    EXPECT_DEATH(ch.pop(), "empty channel");
+}
+
+TEST(Pipeline, SingleStageIsSequential)
+{
+    std::vector<StageSpec> stages = {{"only", 2}};
+    std::vector<std::vector<uint32_t>> service = {{5, 5, 5, 5}};
+    const auto r = simulatePipeline(stages, service);
+    EXPECT_EQ(r.total_cycles, 20u);
+    EXPECT_DOUBLE_EQ(r.stages[0].utilization, 1.0);
+}
+
+TEST(Pipeline, BalancedStagesOverlap)
+{
+    // 3 stages x 10 cycles, 100 items: total ~ fill (20) + 100*10.
+    std::vector<StageSpec> stages = {{"a", 4}, {"b", 4}, {"c", 4}};
+    std::vector<std::vector<uint32_t>> service(
+        3, std::vector<uint32_t>(100, 10));
+    const auto r = simulatePipeline(stages, service);
+    EXPECT_EQ(r.total_cycles, 1020u);
+    EXPECT_GT(r.stages[1].utilization, 0.95);
+}
+
+TEST(Pipeline, BottleneckStageDominates)
+{
+    std::vector<StageSpec> stages = {{"fast", 4}, {"slow", 4}, {"fast2", 4}};
+    std::vector<std::vector<uint32_t>> service = {
+        std::vector<uint32_t>(200, 4),
+        std::vector<uint32_t>(200, 20),
+        std::vector<uint32_t>(200, 4),
+    };
+    const auto r = simulatePipeline(stages, service);
+    // Slow stage sets throughput: ~20 cycles per item.
+    EXPECT_NEAR(static_cast<double>(r.total_cycles), 200.0 * 20.0,
+                100.0);
+    EXPECT_GT(r.stages[1].utilization, 0.95);
+    EXPECT_LT(r.stages[0].utilization, 0.35);
+}
+
+TEST(Pipeline, FifosAbsorbVariability)
+{
+    // Alternating slow/fast second stage: with deep FIFOs the first
+    // stage rarely stalls; with depth-1 FIFOs it stalls often.
+    const size_t n = 400;
+    std::vector<std::vector<uint32_t>> service(2);
+    service[0].assign(n, 10);
+    service[1].resize(n);
+    for (size_t i = 0; i < n; ++i)
+        service[1][i] = (i % 2 == 0) ? 18 : 2; // Mean 10.
+
+    std::vector<StageSpec> deep = {{"a", 16}, {"b", 16}};
+    std::vector<StageSpec> shallow = {{"a", 1}, {"b", 1}};
+    const auto r_deep = simulatePipeline(deep, service);
+    const auto r_shallow = simulatePipeline(shallow, service);
+    EXPECT_LE(r_deep.total_cycles, r_shallow.total_cycles);
+    EXPECT_GT(r_deep.throughput_items_per_cycle, 0.095);
+}
+
+TEST(Pipeline, EmptyWorkListIsZero)
+{
+    std::vector<StageSpec> stages = {{"a", 2}};
+    std::vector<std::vector<uint32_t>> service = {{}};
+    const auto r = simulatePipeline(stages, service);
+    EXPECT_EQ(r.total_cycles, 0u);
+}
+
+TEST(PipelineDeathTest, RaggedTableRejected)
+{
+    std::vector<StageSpec> stages = {{"a", 2}, {"b", 2}};
+    std::vector<std::vector<uint32_t>> service = {{1, 2}, {1}};
+    EXPECT_DEATH(simulatePipeline(stages, service), "ragged");
+}
+
+TEST(Pipeline, ThroughputFieldConsistent)
+{
+    std::vector<StageSpec> stages = {{"a", 4}};
+    std::vector<std::vector<uint32_t>> service = {{10, 10, 10, 10, 10}};
+    const auto r = simulatePipeline(stages, service);
+    EXPECT_NEAR(r.throughput_items_per_cycle, 5.0 / 50.0, 1e-12);
+}
+
+} // namespace
+} // namespace wsva::vcu

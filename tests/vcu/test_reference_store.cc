@@ -1,0 +1,98 @@
+#include "vcu/reference_store.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::vcu {
+namespace {
+
+TEST(ReferenceStore, HitAfterFetch)
+{
+    ReferenceStore store(64 * kRefBlockPixels);
+    EXPECT_FALSE(store.access(0, 0));
+    EXPECT_TRUE(store.access(0, 0));
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+}
+
+TEST(ReferenceStore, LruEvictsOldest)
+{
+    ReferenceStore store(2 * kRefBlockPixels); // Two blocks.
+    store.access(0, 0);
+    store.access(1, 0);
+    store.access(2, 0); // Evicts (0,0).
+    EXPECT_FALSE(store.access(0, 0));
+}
+
+TEST(ReferenceStore, TouchRefreshesLru)
+{
+    ReferenceStore store(2 * kRefBlockPixels);
+    store.access(0, 0);
+    store.access(1, 0);
+    store.access(0, 0); // Refresh (0,0) -> (1,0) is now LRU.
+    store.access(2, 0); // Evicts (1,0).
+    EXPECT_TRUE(store.access(0, 0));
+    EXPECT_FALSE(store.access(1, 0));
+}
+
+TEST(ReferenceStore, FlushDropsEverything)
+{
+    ReferenceStore store(16 * kRefBlockPixels);
+    store.access(0, 0);
+    store.flush();
+    EXPECT_FALSE(store.access(0, 0));
+}
+
+TEST(SearchTraffic, PaperStoreLoadsEachPixelAtMostTwice)
+{
+    // Footnote 5: with the 144K-pixel store and 512-wide tile
+    // columns, each reference pixel is loaded at most twice during a
+    // frame's processing.
+    const auto r = simulateSearchTraffic(1920, 1080, 128, 64,
+                                         kVp9StorePixels, 512);
+    EXPECT_LE(r.fetch_ratio, 2.0);
+    EXPECT_GE(r.fetch_ratio, 0.9);
+}
+
+TEST(SearchTraffic, TinyStoreThrashes)
+{
+    const auto big = simulateSearchTraffic(1920, 1080, 128, 64,
+                                           kVp9StorePixels, 512);
+    const auto tiny = simulateSearchTraffic(1920, 1080, 128, 64,
+                                            8 * kRefBlockPixels, 512);
+    EXPECT_GT(tiny.fetch_ratio, 3.0 * big.fetch_ratio);
+}
+
+TEST(SearchTraffic, H264RasterStoreNeedsWiderCapacity)
+{
+    // Raster scan across the full width: the 394K store keeps the
+    // window resident for <= 2048-wide video (footnote 5).
+    const auto ok = simulateSearchTraffic(1920, 1080, 128, 64,
+                                          kH264StorePixels, 0);
+    EXPECT_LE(ok.fetch_ratio, 2.0);
+    // The small VP9 store thrashes in raster mode at this width.
+    const auto bad = simulateSearchTraffic(1920, 1080, 128, 64,
+                                           kVp9StorePixels, 0);
+    EXPECT_GT(bad.fetch_ratio, ok.fetch_ratio * 1.5);
+}
+
+TEST(SearchTraffic, WiderWindowMoreTraffic)
+{
+    const auto narrow = simulateSearchTraffic(1280, 720, 64, 32,
+                                              kVp9StorePixels, 512);
+    const auto wide = simulateSearchTraffic(1280, 720, 256, 96,
+                                            kVp9StorePixels, 512);
+    EXPECT_GE(wide.misses, narrow.misses);
+}
+
+TEST(SearchTraffic, DeterministicReplay)
+{
+    const auto a = simulateSearchTraffic(1280, 720, 128, 64,
+                                         kVp9StorePixels, 512);
+    const auto b = simulateSearchTraffic(1280, 720, 128, 64,
+                                         kVp9StorePixels, 512);
+    EXPECT_EQ(a.misses, b.misses);
+    EXPECT_EQ(a.hits, b.hits);
+}
+
+} // namespace
+} // namespace wsva::vcu

@@ -1,0 +1,96 @@
+#include "video/frame.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::video {
+namespace {
+
+TEST(Plane, ConstructsWithFill)
+{
+    Plane p(8, 4, 77);
+    EXPECT_EQ(p.width(), 8);
+    EXPECT_EQ(p.height(), 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 8; ++x)
+            ASSERT_EQ(p.at(x, y), 77);
+}
+
+TEST(Plane, PixelAccessIsRowMajor)
+{
+    Plane p(4, 2);
+    p.at(3, 1) = 9;
+    EXPECT_EQ(p.data()[1 * 4 + 3], 9);
+}
+
+TEST(Plane, ClampedAtHandlesEdges)
+{
+    Plane p(4, 4);
+    p.at(0, 0) = 1;
+    p.at(3, 3) = 2;
+    EXPECT_EQ(p.clampedAt(-5, -5), 1);
+    EXPECT_EQ(p.clampedAt(10, 10), 2);
+}
+
+TEST(Plane, RowPointerMatchesAt)
+{
+    Plane p(6, 3);
+    p.at(2, 1) = 42;
+    EXPECT_EQ(p.row(1)[2], 42);
+}
+
+TEST(Frame, ChromaIsHalfResolution)
+{
+    Frame f(32, 16);
+    EXPECT_EQ(f.u().width(), 16);
+    EXPECT_EQ(f.u().height(), 8);
+    EXPECT_EQ(f.v().width(), 16);
+    EXPECT_EQ(f.v().height(), 8);
+    EXPECT_TRUE(f.valid());
+}
+
+TEST(Frame, ChromaStartsNeutral)
+{
+    Frame f(8, 8);
+    EXPECT_EQ(f.u().at(0, 0), 128);
+    EXPECT_EQ(f.v().at(3, 3), 128);
+}
+
+TEST(Frame, PlaneIndexing)
+{
+    Frame f(8, 8);
+    f.y().at(1, 1) = 10;
+    f.u().at(1, 1) = 20;
+    f.v().at(1, 1) = 30;
+    EXPECT_EQ(f.plane(0).at(1, 1), 10);
+    EXPECT_EQ(f.plane(1).at(1, 1), 20);
+    EXPECT_EQ(f.plane(2).at(1, 1), 30);
+}
+
+TEST(Frame, PixelCountIsLumaPixels)
+{
+    Frame f(32, 18);
+    EXPECT_EQ(f.pixelCount(), 32u * 18u);
+}
+
+TEST(Frame, EqualityComparesPixels)
+{
+    Frame a(8, 8, 10);
+    Frame b(8, 8, 10);
+    EXPECT_EQ(a, b);
+    b.y().at(0, 0) = 11;
+    EXPECT_NE(a, b);
+}
+
+TEST(FrameDeathTest, RejectsOddDimensions)
+{
+    EXPECT_DEATH(Frame(7, 8), "even");
+}
+
+TEST(RawFrameBytes, Is15BytesPerPixel)
+{
+    EXPECT_EQ(rawFrameBytes(3840, 2160),
+              3840ull * 2160ull * 3ull / 2ull);
+}
+
+} // namespace
+} // namespace wsva::video

@@ -1,0 +1,125 @@
+#include "video/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wsva::video {
+namespace {
+
+TEST(Mse, ZeroForIdenticalPlanes)
+{
+    Plane a(16, 16, 100);
+    EXPECT_EQ(planeMse(a, a), 0.0);
+}
+
+TEST(Mse, KnownDifference)
+{
+    Plane a(4, 4, 100);
+    Plane b(4, 4, 103);
+    EXPECT_DOUBLE_EQ(planeMse(a, b), 9.0);
+}
+
+TEST(Psnr, InfinityCapsAt100)
+{
+    EXPECT_EQ(psnrFromMse(0.0), 100.0);
+}
+
+TEST(Psnr, KnownValue)
+{
+    // MSE 65025 = max error: PSNR 0 dB.
+    EXPECT_NEAR(psnrFromMse(255.0 * 255.0), 0.0, 1e-9);
+    // MSE 1 -> ~48.13 dB.
+    EXPECT_NEAR(psnrFromMse(1.0), 48.13, 0.01);
+}
+
+TEST(Psnr, FrameWeightsLumaMore)
+{
+    Frame a(16, 16, 100);
+    Frame b = a;
+    // Corrupt only luma on b.
+    for (auto &px : b.y().data())
+        px = 110;
+    const double luma_only = framePsnr(a, b);
+
+    Frame c = a;
+    for (auto &px : c.u().data())
+        px = 138;
+    const double chroma_only = framePsnr(a, c);
+    // Same per-plane MSE (100), but luma has 4x weight.
+    EXPECT_LT(luma_only, chroma_only);
+}
+
+TEST(SequencePsnr, PoolsMse)
+{
+    Frame a(8, 8, 100);
+    Frame b(8, 8, 101);
+    const double single = framePsnr(a, b);
+    const double pooled = sequencePsnr({a, a}, {b, b});
+    EXPECT_NEAR(single, pooled, 1e-9);
+}
+
+class BdRateTest : public testing::Test
+{
+  protected:
+    /** Build an RD curve psnr = a + b*log10(rate). */
+    static std::vector<RdPoint>
+    curve(double a, double b, const std::vector<double> &rates)
+    {
+        std::vector<RdPoint> pts;
+        for (double r : rates)
+            pts.push_back({r, a + b * std::log10(r)});
+        return pts;
+    }
+};
+
+TEST_F(BdRateTest, IdenticalCurvesGiveZero)
+{
+    auto c = curve(10.0, 8.0, {1e5, 2e5, 4e5, 8e5});
+    EXPECT_NEAR(bdRate(c, c), 0.0, 1e-6);
+}
+
+TEST_F(BdRateTest, HalfRateCurveGivesMinusFifty)
+{
+    auto anchor = curve(10.0, 8.0, {1e5, 2e5, 4e5, 8e5});
+    // Same quality at half the bitrate everywhere.
+    std::vector<RdPoint> test;
+    for (const auto &p : anchor)
+        test.push_back({p.bitrate_bps / 2.0, p.psnr_db});
+    EXPECT_NEAR(bdRate(anchor, test), -50.0, 0.5);
+}
+
+TEST_F(BdRateTest, DoubleRateCurveGivesPlusHundred)
+{
+    auto anchor = curve(10.0, 8.0, {1e5, 2e5, 4e5, 8e5});
+    std::vector<RdPoint> test;
+    for (const auto &p : anchor)
+        test.push_back({p.bitrate_bps * 2.0, p.psnr_db});
+    EXPECT_NEAR(bdRate(anchor, test), 100.0, 1.0);
+}
+
+TEST_F(BdRateTest, AntisymmetricInArguments)
+{
+    auto anchor = curve(12.0, 7.5, {1e5, 2e5, 4e5, 8e5});
+    auto test = curve(13.0, 7.8, {1.2e5, 2.3e5, 4.4e5, 8.1e5});
+    const double fwd = bdRate(anchor, test);
+    const double rev = bdRate(test, anchor);
+    // (1+f)(1+r) ~= 1.
+    EXPECT_NEAR((1 + fwd / 100) * (1 + rev / 100), 1.0, 0.02);
+}
+
+TEST_F(BdRateTest, RejectsTooFewPoints)
+{
+    auto anchor = curve(10.0, 8.0, {1e5, 2e5, 4e5});
+    EXPECT_DEATH(bdRate(anchor, anchor), "at least 4");
+}
+
+TEST_F(BdRateTest, RejectsDisjointCurves)
+{
+    auto lo = curve(10.0, 8.0, {1e3, 2e3, 3e3, 4e3});
+    auto hi = curve(80.0, 8.0, {1e6, 2e6, 3e6, 4e6});
+    EXPECT_DEATH(bdRate(lo, hi), "overlap");
+}
+
+} // namespace
+} // namespace wsva::video

@@ -1,0 +1,109 @@
+#include "video/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::video {
+namespace {
+
+TEST(Scaler, IdentityWhenSameSize)
+{
+    Plane p(16, 16, 50);
+    p.at(3, 3) = 200;
+    Plane q = scalePlane(p, 16, 16);
+    EXPECT_EQ(p, q);
+}
+
+TEST(Scaler, DownscalePreservesFlatColor)
+{
+    Plane p(64, 64, 90);
+    Plane q = scalePlane(p, 16, 16);
+    for (int y = 0; y < 16; ++y)
+        for (int x = 0; x < 16; ++x)
+            ASSERT_EQ(q.at(x, y), 90);
+}
+
+TEST(Scaler, DownscaleAveragesBlocks)
+{
+    // 2x2 checkerboard of 0/255 averages to ~128 at half size.
+    Plane p(4, 4);
+    for (int y = 0; y < 4; ++y)
+        for (int x = 0; x < 4; ++x)
+            p.at(x, y) = ((x + y) % 2) ? 255 : 0;
+    Plane q = scalePlane(p, 2, 2);
+    for (int y = 0; y < 2; ++y)
+        for (int x = 0; x < 2; ++x)
+            ASSERT_NEAR(q.at(x, y), 128, 1);
+}
+
+TEST(Scaler, UpscalePreservesFlatColor)
+{
+    Plane p(8, 8, 33);
+    Plane q = scalePlane(p, 32, 32);
+    for (int y = 0; y < 32; ++y)
+        for (int x = 0; x < 32; ++x)
+            ASSERT_EQ(q.at(x, y), 33);
+}
+
+TEST(Scaler, FrameScaleKeepsChromaGeometry)
+{
+    Frame f(64, 36);
+    Frame g = scaleFrame(f, 32, 18);
+    EXPECT_EQ(g.width(), 32);
+    EXPECT_EQ(g.height(), 18);
+    EXPECT_EQ(g.u().width(), 16);
+    EXPECT_EQ(g.u().height(), 9);
+    EXPECT_TRUE(g.valid());
+}
+
+TEST(Scaler, NonIntegerRatioDownscale)
+{
+    Plane p(30, 30, 120);
+    Plane q = scalePlane(p, 14, 14);
+    EXPECT_EQ(q.width(), 14);
+    for (int y = 0; y < 14; ++y)
+        for (int x = 0; x < 14; ++x)
+            ASSERT_EQ(q.at(x, y), 120);
+}
+
+TEST(ScalerDeathTest, RejectsOddFrameTarget)
+{
+    Frame f(32, 32);
+    EXPECT_DEATH(scaleFrame(f, 15, 16), "even");
+}
+
+TEST(Ladder, StandardLadderIs16x9)
+{
+    for (const auto &r : standardLadder()) {
+        // All rungs are even-dimensioned (4:2:0-safe).
+        EXPECT_EQ(r.width % 2, 0);
+        EXPECT_EQ(r.height % 2, 0);
+    }
+    EXPECT_EQ(standardLadder().front().height, 144);
+    EXPECT_EQ(standardLadder().back().height, 4320);
+}
+
+TEST(Ladder, OutputsForInputMatchPaperExample)
+{
+    // "for 1080p inputs: 1080p, 720p, 480p, 360p, 240p, and 144p".
+    auto outs = outputsForInput({1920, 1080});
+    ASSERT_EQ(outs.size(), 6u);
+    EXPECT_EQ(outs[0].height, 1080);
+    EXPECT_EQ(outs[5].height, 144);
+}
+
+TEST(Ladder, TinyInputStillGetsOneOutput)
+{
+    auto outs = outputsForInput({100, 100});
+    ASSERT_EQ(outs.size(), 1u);
+    EXPECT_EQ(outs[0].height, 144);
+}
+
+TEST(Ladder, ResolutionNames)
+{
+    EXPECT_STREQ(resolutionName({3840, 2160}), "2160p");
+    EXPECT_STREQ(resolutionName({256, 144}), "144p");
+    EXPECT_STREQ(resolutionName({640, 362}), "custom");
+}
+
+} // namespace
+} // namespace wsva::video

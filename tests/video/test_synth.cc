@@ -1,0 +1,147 @@
+#include "video/synth.h"
+
+#include <gtest/gtest.h>
+
+#include "video/metrics.h"
+
+namespace wsva::video {
+namespace {
+
+SynthSpec
+baseSpec()
+{
+    SynthSpec s;
+    s.width = 64;
+    s.height = 48;
+    s.frame_count = 10;
+    s.detail = 2;
+    s.objects = 2;
+    s.motion = 2.0;
+    s.seed = 99;
+    return s;
+}
+
+TEST(Synth, DeterministicForSameSeed)
+{
+    auto a = generateVideo(baseSpec());
+    auto b = generateVideo(baseSpec());
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        ASSERT_EQ(a[i], b[i]) << "frame " << i;
+}
+
+TEST(Synth, SeedChangesContent)
+{
+    auto a = generateVideo(baseSpec());
+    SynthSpec other = baseSpec();
+    other.seed = 100;
+    auto b = generateVideo(other);
+    EXPECT_NE(a[0], b[0]);
+}
+
+TEST(Synth, FrameAtMatchesBatch)
+{
+    const auto spec = baseSpec();
+    auto batch = generateVideo(spec);
+    for (int i = 0; i < spec.frame_count; i += 3)
+        ASSERT_EQ(batch[static_cast<size_t>(i)], generateFrameAt(spec, i));
+}
+
+TEST(Synth, MotionCreatesTemporalChange)
+{
+    auto frames = generateVideo(baseSpec());
+    EXPECT_GT(frameMse(frames[0], frames[5]), 1.0);
+}
+
+TEST(Synth, ZeroMotionZeroNoiseIsStatic)
+{
+    SynthSpec s = baseSpec();
+    s.motion = 0.0;
+    s.pan_speed = 0.0;
+    s.noise_sigma = 0.0;
+    s.flash_period = 0;
+    auto frames = generateVideo(s);
+    EXPECT_EQ(frames[0], frames[9]);
+}
+
+TEST(Synth, NoiseIncreasesFrameDifference)
+{
+    SynthSpec clean = baseSpec();
+    clean.motion = 0;
+    clean.noise_sigma = 0;
+    SynthSpec noisy = clean;
+    noisy.noise_sigma = 5.0;
+    auto cf = generateVideo(clean);
+    auto nf = generateVideo(noisy);
+    EXPECT_EQ(frameMse(cf[0], cf[1]), 0.0);
+    EXPECT_GT(frameMse(nf[0], nf[1]), 10.0);
+}
+
+TEST(Synth, SceneCutChangesContentAbruptly)
+{
+    SynthSpec s = baseSpec();
+    s.scene_cut_period = 5;
+    s.motion = 0.5;
+    auto frames = generateVideo(s);
+    const double within = frameMse(frames[3], frames[4]);
+    const double across = frameMse(frames[4], frames[5]);
+    EXPECT_GT(across, 4.0 * within + 1.0);
+}
+
+TEST(Synth, ScreenContentHasHighContrast)
+{
+    SynthSpec s = baseSpec();
+    s.screen_content = true;
+    s.objects = 0;
+    auto f = generateFrameAt(s, 0);
+    int dark = 0;
+    int bright = 0;
+    for (auto px : f.y().data()) {
+        dark += px < 40;
+        bright += px > 220;
+    }
+    EXPECT_GT(dark, 50);
+    EXPECT_GT(bright, 50);
+}
+
+TEST(Synth, FlashBrightensFrame)
+{
+    SynthSpec s = baseSpec();
+    s.flash_period = 4;
+    s.motion = 0;
+    s.objects = 0;
+    auto frames = generateVideo(s);
+    double mean3 = 0;
+    double mean4 = 0;
+    for (auto px : frames[3].y().data())
+        mean3 += px;
+    for (auto px : frames[4].y().data())
+        mean4 += px;
+    EXPECT_GT(mean4, mean3 + 30 * frames[3].y().pixelCount() / 2);
+}
+
+TEST(Synth, HigherDetailMoreTexture)
+{
+    SynthSpec flat = baseSpec();
+    flat.detail = 0;
+    flat.objects = 0;
+    SynthSpec busy = flat;
+    busy.detail = 3;
+    auto ff = generateFrameAt(flat, 0);
+    auto bf = generateFrameAt(busy, 0);
+    auto variance = [](const Frame &f) {
+        double sum = 0;
+        double sq = 0;
+        for (auto px : f.y().data()) {
+            sum += px;
+            sq += double(px) * px;
+        }
+        const double n = static_cast<double>(f.y().pixelCount());
+        return sq / n - (sum / n) * (sum / n);
+    };
+    EXPECT_LT(variance(ff), 1.0);
+    EXPECT_GT(variance(bf), 100.0);
+}
+
+} // namespace
+} // namespace wsva::video

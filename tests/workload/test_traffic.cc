@@ -1,0 +1,134 @@
+#include "workload/traffic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace wsva::workload {
+namespace {
+
+using wsva::cluster::TranscodeStep;
+using wsva::video::codec::CodecType;
+
+TEST(UploadTraffic, GeneratesChunkedVideos)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 2.0;
+    cfg.seed = 5;
+    UploadTraffic gen(cfg);
+    std::map<uint64_t, int> chunks_per_video;
+    for (int t = 0; t < 200; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0))
+            ++chunks_per_video[step.video_id];
+    }
+    EXPECT_GT(gen.videosGenerated(), 200u);
+    EXPECT_FALSE(chunks_per_video.empty());
+}
+
+TEST(UploadTraffic, PoissonRateApproximatelyHolds)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 3.0;
+    cfg.seed = 7;
+    UploadTraffic gen(cfg);
+    for (int t = 0; t < 1000; ++t)
+        gen.arrivals(t, 1.0);
+    EXPECT_NEAR(static_cast<double>(gen.videosGenerated()), 3000.0,
+                300.0);
+}
+
+TEST(UploadTraffic, MotStepsHaveLadders)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 5.0;
+    cfg.use_mot = true;
+    UploadTraffic gen(cfg);
+    bool saw_ladder = false;
+    for (int t = 0; t < 50 && !saw_ladder; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0)) {
+            if (step.outputs.size() > 1)
+                saw_ladder = true;
+        }
+    }
+    EXPECT_TRUE(saw_ladder);
+}
+
+TEST(UploadTraffic, SotModeEmitsPerRungSteps)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 5.0;
+    cfg.use_mot = false;
+    cfg.seed = 9;
+    UploadTraffic gen(cfg);
+    for (int t = 0; t < 50; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0))
+            ASSERT_EQ(step.outputs.size(), 1u);
+    }
+}
+
+TEST(UploadTraffic, Vp9FractionControlsCodecMix)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 5.0;
+    cfg.vp9_fraction = 0.0;
+    cfg.seed = 11;
+    UploadTraffic gen(cfg);
+    for (int t = 0; t < 50; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0))
+            ASSERT_EQ(step.codec, CodecType::H264);
+    }
+}
+
+TEST(UploadTraffic, ResolutionMixFavors720p1080p)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 10.0;
+    cfg.seed = 13;
+    UploadTraffic gen(cfg);
+    std::map<int, int> by_height;
+    std::map<uint64_t, int> seen_videos;
+    for (int t = 0; t < 500; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0)) {
+            if (seen_videos.insert({step.video_id, 1}).second)
+                ++by_height[step.input.height];
+        }
+    }
+    const int hd = by_height[720] + by_height[1080];
+    int total = 0;
+    for (auto &[h, n] : by_height)
+        total += n;
+    EXPECT_GT(hd, total / 2);
+    EXPECT_GT(by_height[2160], 0);
+}
+
+TEST(LiveTraffic, EmitsOneStepPerStreamPerSegment)
+{
+    LiveTrafficConfig cfg;
+    cfg.concurrent_streams = 7;
+    cfg.segment_seconds = 2.0;
+    LiveTraffic gen(cfg);
+    auto none = gen.arrivals(1.0, 1.0);
+    EXPECT_TRUE(none.empty());
+    auto batch = gen.arrivals(2.0, 1.0);
+    EXPECT_EQ(batch.size(), 7u);
+    for (const auto &step : batch) {
+        EXPECT_EQ(step.use_case, wsva::cluster::UseCase::Live);
+        EXPECT_FALSE(step.two_pass);
+        EXPECT_EQ(step.frames, 60);
+    }
+}
+
+TEST(LiveTraffic, RateIsStable)
+{
+    LiveTrafficConfig cfg;
+    cfg.concurrent_streams = 3;
+    cfg.segment_seconds = 2.0;
+    LiveTraffic gen(cfg);
+    size_t total = 0;
+    for (int t = 0; t < 100; ++t)
+        total += gen.arrivals(t, 1.0).size();
+    EXPECT_EQ(total, 3u * 50u);
+}
+
+} // namespace
+} // namespace wsva::workload
