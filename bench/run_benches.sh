@@ -1,0 +1,20 @@
+#!/bin/sh
+# Run the JSON-emitting benches and record their outputs at the repo
+# root (BENCH_*.json), so the bench trajectory is tracked in-tree.
+#
+# Usage: bench/run_benches.sh [build-dir]
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+if [ ! -x "$build_dir/bench/bench_parallel_pipeline" ]; then
+    echo "bench_parallel_pipeline not built in $build_dir;" \
+         "run: cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
+    exit 1
+fi
+
+echo "Running bench_parallel_pipeline ..." >&2
+"$build_dir/bench/bench_parallel_pipeline" \
+    > "$repo_root/BENCH_pipeline.json"
+echo "Wrote $repo_root/BENCH_pipeline.json" >&2

@@ -1,0 +1,159 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace wsva {
+
+int
+ThreadPool::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    const int count = resolveThreads(num_threads);
+    WSVA_ASSERT(count >= 1, "thread pool needs at least one worker");
+    queues_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        queues_.push_back(std::make_unique<WorkerQueue>());
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        workers_.emplace_back(
+            [this, i] { workerLoop(static_cast<size_t>(i)); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        stop_ = true;
+    }
+    wakeup_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    const size_t target =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+        queues_[target]->jobs.push_back(std::move(job));
+    }
+    pending_.fetch_add(1, std::memory_order_release);
+    wakeup_.notify_one();
+}
+
+bool
+ThreadPool::tryGetJob(size_t self, std::function<void()> &job)
+{
+    // Own deque first, newest job first: it is the cache-warm one.
+    {
+        auto &q = *queues_[self];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.jobs.empty()) {
+            job = std::move(q.jobs.back());
+            q.jobs.pop_back();
+            return true;
+        }
+    }
+    // Steal the oldest job from a sibling.
+    const size_t n = queues_.size();
+    for (size_t off = 1; off < n; ++off) {
+        auto &q = *queues_[(self + off) % n];
+        std::lock_guard<std::mutex> lock(q.mutex);
+        if (!q.jobs.empty()) {
+            job = std::move(q.jobs.front());
+            q.jobs.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(size_t self)
+{
+    while (true) {
+        std::function<void()> job;
+        if (tryGetJob(self, job)) {
+            pending_.fetch_sub(1, std::memory_order_acq_rel);
+            job();
+            continue;
+        }
+        std::unique_lock<std::mutex> lock(sleep_mutex_);
+        wakeup_.wait(lock, [this] {
+            return stop_ || pending_.load(std::memory_order_acquire) > 0;
+        });
+        if (stop_ && pending_.load(std::memory_order_acquire) == 0)
+            return;
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t count,
+                        const std::function<void(size_t)> &body)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        body(0);
+        return;
+    }
+
+    struct ForState
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<bool> failed{false};
+        std::mutex error_mutex;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<ForState>();
+
+    auto drain = [state, count, &body] {
+        while (true) {
+            const size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count ||
+                state->failed.load(std::memory_order_acquire)) {
+                return;
+            }
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->error_mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+                state->failed.store(true, std::memory_order_release);
+            }
+        }
+    };
+
+    // One helper per worker (bounded by the iteration count; the
+    // caller drains too, so helpers that never get scheduled before
+    // the space is exhausted simply return).
+    const size_t helpers =
+        std::min(count - 1, static_cast<size_t>(workerCount()));
+    std::vector<std::future<void>> futures;
+    futures.reserve(helpers);
+    for (size_t h = 0; h < helpers; ++h)
+        futures.push_back(submit(drain));
+    drain();
+    for (auto &f : futures)
+        f.get();
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+} // namespace wsva

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A general-purpose work-stealing thread pool.
+ *
+ * The platform encodes many closed-GOP chunks and MOT ladder rungs
+ * concurrently across encoder cores (paper Figures 2 and 5); this
+ * pool is the software stand-in for that parallelism, shared by the
+ * platform pipeline, cluster code, and benches.
+ *
+ * Design: a fixed set of workers, one deque per worker. submit()
+ * distributes jobs round-robin; a worker services its own deque in
+ * LIFO order (cache-warm) and steals from its siblings in FIFO order
+ * (oldest first, reduces contention). parallelFor() is a helper for
+ * index-space fan-out in which the calling thread participates, so it
+ * is deadlock-free even when the pool is saturated.
+ */
+
+#ifndef WSVA_COMMON_THREAD_POOL_H
+#define WSVA_COMMON_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace wsva {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with @p num_threads workers. 0 (the default)
+     * means one worker per hardware thread.
+     */
+    explicit ThreadPool(int num_threads = 0);
+
+    /** Completes all queued work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int workerCount() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue a callable; the returned future carries its result (or
+     * its exception).
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> future = task->get_future();
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Run body(i) for every i in [0, count). The caller participates
+     * in the work; the call returns when every index has completed.
+     * The first exception thrown by any body is rethrown here (the
+     * remaining indices are abandoned once a failure is observed).
+     */
+    void parallelFor(size_t count,
+                     const std::function<void(size_t)> &body);
+
+    /**
+     * Resolve a thread-count knob: <= 0 selects the hardware
+     * concurrency (at least 1), anything else is taken as-is.
+     */
+    static int resolveThreads(int requested);
+
+  private:
+    /** One worker's job deque with its own lock. */
+    struct WorkerQueue
+    {
+        std::mutex mutex;
+        std::deque<std::function<void()>> jobs;
+    };
+
+    void enqueue(std::function<void()> job);
+    void workerLoop(size_t self);
+    bool tryGetJob(size_t self, std::function<void()> &job);
+
+    std::vector<std::unique_ptr<WorkerQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::atomic<size_t> next_queue_{0};
+    std::atomic<size_t> pending_{0};
+    std::mutex sleep_mutex_;
+    std::condition_variable wakeup_;
+    bool stop_ = false;
+};
+
+} // namespace wsva
+
+#endif // WSVA_COMMON_THREAD_POOL_H

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "video/codec/decoder.h"
 #include "video/codec/rate_control.h"
 
@@ -56,43 +59,36 @@ OutputVariant::bitrateBps() const
 
 namespace {
 
-/** Encode one scaled chunk sequence into a variant. */
-OutputVariant
-encodeVariant(const std::vector<std::vector<Frame>> &chunks,
-              Resolution resolution, CodecType codec,
-              const PipelineConfig &cfg,
-              const std::vector<FirstPassStats> &chunk_stats,
-              double bitrate_scale)
+/** Scale one source chunk to a rung and encode it. */
+EncodedChunk
+encodeChunkJob(const std::vector<Frame> &chunk, Resolution resolution,
+               CodecType codec, const PipelineConfig &cfg,
+               const std::vector<FirstPassStats> &chunk_stats,
+               size_t chunk_idx, double bitrate_scale)
 {
-    OutputVariant variant;
-    variant.resolution = resolution;
-    variant.codec = codec;
-    for (size_t i = 0; i < chunks.size(); ++i) {
-        std::vector<Frame> scaled;
-        scaled.reserve(chunks[i].size());
-        for (const auto &f : chunks[i])
-            scaled.push_back(
-                scaleFrame(f, resolution.width, resolution.height));
+    std::vector<Frame> scaled;
+    scaled.reserve(chunk.size());
+    for (const auto &f : chunk)
+        scaled.push_back(
+            scaleFrame(f, resolution.width, resolution.height));
 
-        EncoderConfig ecfg = cfg.encoder;
-        ecfg.codec = codec;
-        ecfg.width = resolution.width;
-        ecfg.height = resolution.height;
-        ecfg.target_bitrate_bps *= bitrate_scale;
-        ecfg.gop_length =
-            std::max(ecfg.gop_length, static_cast<int>(scaled.size()));
+    EncoderConfig ecfg = cfg.encoder;
+    ecfg.codec = codec;
+    ecfg.width = resolution.width;
+    ecfg.height = resolution.height;
+    ecfg.target_bitrate_bps *= bitrate_scale;
+    ecfg.gop_length =
+        std::max(ecfg.gop_length, static_cast<int>(scaled.size()));
 
-        FirstPassStats stats;
-        if (ecfg.rc_mode != RcMode::ConstQp) {
-            // MOT shares the source-analysis statistics across rungs;
-            // the complexity signal is resolution-independent enough.
-            stats = i < chunk_stats.size() ? chunk_stats[i]
-                                           : runFirstPass(scaled);
-        }
-        variant.chunks.push_back(
-            encodeSequenceWithStats(ecfg, scaled, std::move(stats)));
+    FirstPassStats stats;
+    if (ecfg.rc_mode != RcMode::ConstQp) {
+        // MOT shares the source-analysis statistics across rungs;
+        // the complexity signal is resolution-independent enough.
+        WSVA_ASSERT(chunk_idx < chunk_stats.size(),
+                    "missing first-pass stats for chunk %zu", chunk_idx);
+        stats = chunk_stats[chunk_idx];
     }
-    return variant;
+    return encodeSequenceWithStats(ecfg, scaled, std::move(stats));
 }
 
 } // namespace
@@ -113,13 +109,38 @@ transcodeMot(const std::vector<Frame> &source,
     WSVA_ASSERT(!outputs.empty(), "no output variants requested");
 
     const auto chunks = chunkFrames(source, cfg.chunk_frames);
+    const size_t jobs = chunks.size() * outputs.size();
 
-    // One analysis pass over the source per chunk, shared by rungs.
+    // Chunks are closed GOPs and rungs are independent, so the
+    // chunk x rung encode jobs are embarrassingly parallel. Every
+    // result lands in its pre-assigned slot, so scheduling order
+    // never affects the output bytes.
+    const int want_threads = std::min<size_t>(
+        static_cast<size_t>(
+            wsva::ThreadPool::resolveThreads(cfg.num_threads)),
+        std::max(jobs, chunks.size()));
+    std::unique_ptr<wsva::ThreadPool> pool;
+    if (want_threads > 1)
+        pool = std::make_unique<wsva::ThreadPool>(want_threads);
+
+    const auto runFor = [&](size_t count,
+                            const std::function<void(size_t)> &body) {
+        if (pool) {
+            pool->parallelFor(count, body);
+        } else {
+            for (size_t i = 0; i < count; ++i)
+                body(i);
+        }
+    };
+
+    // One analysis pass over the source per chunk, shared by every
+    // rung of the ladder (compute stats once, then fan out).
     std::vector<FirstPassStats> chunk_stats;
     if (cfg.encoder.rc_mode != RcMode::ConstQp) {
-        chunk_stats.reserve(chunks.size());
-        for (const auto &chunk : chunks)
-            chunk_stats.push_back(runFirstPass(chunk));
+        chunk_stats.resize(chunks.size());
+        runFor(chunks.size(), [&](size_t i) {
+            chunk_stats[i] = runFirstPass(chunks[i]);
+        });
     }
 
     // Bitrate ladder: lower rungs get sublinearly scaled targets.
@@ -130,24 +151,43 @@ transcodeMot(const std::vector<Frame> &source,
     }
 
     TranscodeResult result;
-    for (const auto &res : outputs) {
-        const double rel =
-            static_cast<double>(res.width) * res.height / top_pixels;
-        const double scale =
-            std::pow(rel, cfg.ladder_bitrate_exponent);
-        result.variants.push_back(encodeVariant(chunks, res, codec, cfg,
-                                                chunk_stats, scale));
+    result.variants.resize(outputs.size());
+    for (size_t r = 0; r < outputs.size(); ++r) {
+        result.variants[r].resolution = outputs[r];
+        result.variants[r].codec = codec;
+        result.variants[r].chunks.resize(chunks.size());
     }
 
+    runFor(jobs, [&](size_t j) {
+        const size_t r = j / chunks.size();
+        const size_t i = j % chunks.size();
+        const Resolution &res = outputs[r];
+        const double rel =
+            static_cast<double>(res.width) * res.height / top_pixels;
+        const double scale = std::pow(rel, cfg.ladder_bitrate_exponent);
+        result.variants[r].chunks[i] = encodeChunkJob(
+            chunks[i], res, codec, cfg, chunk_stats, i, scale);
+    });
+
     // Integrity verification (Section 4.4): every variant must decode
-    // and match the input length.
-    for (const auto &variant : result.variants) {
+    // and match the input length. Variants verify in parallel; the
+    // reported failure is the lowest-index one, matching the serial
+    // scan order.
+    std::vector<std::string> errors(result.variants.size());
+    std::vector<char> failed(result.variants.size(), 0);
+    runFor(result.variants.size(), [&](size_t v) {
         std::string error;
         const auto frames =
-            assembleVariant(variant, source.size(), &error);
+            assembleVariant(result.variants[v], source.size(), &error);
         if (frames.empty()) {
+            failed[v] = 1;
+            errors[v] = std::move(error);
+        }
+    });
+    for (size_t v = 0; v < result.variants.size(); ++v) {
+        if (failed[v]) {
             result.integrity_ok = false;
-            result.integrity_error = error;
+            result.integrity_error = errors[v];
             break;
         }
     }

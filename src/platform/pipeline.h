@@ -63,6 +63,15 @@ struct PipelineConfig
      * demand grows sublinearly with resolution).
      */
     double ladder_bitrate_exponent = 0.75;
+
+    /**
+     * Worker threads for the chunk x rung encode fan-out: 0 = one per
+     * hardware thread, 1 = fully serial (no pool). Chunks are closed
+     * GOPs and rungs are independent, so every schedule produces
+     * bit-identical output — results are assembled in chunk order
+     * regardless of completion order.
+     */
+    int num_threads = 0;
 };
 
 /**

@@ -9,18 +9,7 @@ namespace wsva::video::codec {
 void
 extractBlock(const Plane &src, int x, int y, int n, uint8_t *out)
 {
-    const bool inside = x >= 0 && y >= 0 && x + n <= src.width() &&
-                        y + n <= src.height();
-    if (inside) {
-        for (int r = 0; r < n; ++r) {
-            const uint8_t *row = src.row(y + r) + x;
-            std::copy(row, row + n, out + r * n);
-        }
-        return;
-    }
-    for (int r = 0; r < n; ++r)
-        for (int c = 0; c < n; ++c)
-            out[r * n + c] = src.clampedAt(x + c, y + r);
+    fetchPatch(src, x, y, n, n, out);
 }
 
 void
@@ -40,18 +29,7 @@ motionCompensate(const Plane &ref, int x, int y, int n, Mv mv, uint8_t *out)
     uint8_t patch[65 * 65];
     WSVA_ASSERT(n <= 64, "MC block too large");
     const int pn = n + 1;
-    const bool inside = ix >= 0 && iy >= 0 && ix + pn <= ref.width() &&
-                        iy + pn <= ref.height();
-    if (inside) {
-        for (int r = 0; r < pn; ++r) {
-            const uint8_t *row = ref.row(iy + r) + ix;
-            std::copy(row, row + pn, patch + r * pn);
-        }
-    } else {
-        for (int r = 0; r < pn; ++r)
-            for (int c = 0; c < pn; ++c)
-                patch[r * pn + c] = ref.clampedAt(ix + c, iy + r);
-    }
+    fetchPatch(ref, ix, iy, pn, pn, patch);
 
     for (int r = 0; r < n; ++r) {
         for (int c = 0; c < n; ++c) {
@@ -78,6 +56,53 @@ blockSad(const uint8_t *a, const uint8_t *b, int n)
     const int count = n * n;
     for (int i = 0; i < count; ++i)
         acc += static_cast<uint32_t>(std::abs(int(a[i]) - int(b[i])));
+    return acc;
+}
+
+uint32_t
+blockSadBounded(const uint8_t *a, const uint8_t *b, int n, uint32_t bound)
+{
+    uint32_t acc = 0;
+    for (int r = 0; r < n; ++r) {
+        const uint8_t *pa = a + r * n;
+        const uint8_t *pb = b + r * n;
+        for (int c = 0; c < n; ++c)
+            acc += static_cast<uint32_t>(
+                std::abs(int(pa[c]) - int(pb[c])));
+        if (acc >= bound)
+            return acc;
+    }
+    return acc;
+}
+
+uint32_t
+sadAgainstBlock(const uint8_t *cur, const Plane &ref, int rx, int ry,
+                int n, uint32_t bound)
+{
+    const bool inside = rx >= 0 && ry >= 0 && rx + n <= ref.width() &&
+                        ry + n <= ref.height();
+    uint32_t acc = 0;
+    if (inside) {
+        for (int r = 0; r < n; ++r) {
+            const uint8_t *s = cur + r * n;
+            const uint8_t *p = ref.row(ry + r) + rx;
+            for (int c = 0; c < n; ++c)
+                acc += static_cast<uint32_t>(
+                    std::abs(int(s[c]) - int(p[c])));
+            if (acc >= bound)
+                return acc;
+        }
+        return acc;
+    }
+    for (int r = 0; r < n; ++r) {
+        const uint8_t *s = cur + r * n;
+        for (int c = 0; c < n; ++c) {
+            const int p = ref.clampedAt(rx + c, ry + r);
+            acc += static_cast<uint32_t>(std::abs(int(s[c]) - p));
+        }
+        if (acc >= bound)
+            return acc;
+    }
     return acc;
 }
 

@@ -9,6 +9,7 @@
 #ifndef WSVA_VIDEO_CODEC_MC_H
 #define WSVA_VIDEO_CODEC_MC_H
 
+#include <algorithm>
 #include <cstdint>
 
 #include "video/frame.h"
@@ -25,6 +26,31 @@ struct Mv
 };
 
 /**
+ * Copy a w x h patch from @p src at (x, y) into @p out (row stride
+ * w). The common in-frame case is a straight row copy; out-of-frame
+ * samples are edge-clamped. This is the one shared fetch used by
+ * extractBlock and motionCompensate (one copy of the bounds logic,
+ * no divergence risk), inlined because it sits inside the motion
+ * search inner loops.
+ */
+inline void
+fetchPatch(const Plane &src, int x, int y, int w, int h, uint8_t *out)
+{
+    const bool inside = x >= 0 && y >= 0 && x + w <= src.width() &&
+                        y + h <= src.height();
+    if (inside) {
+        for (int r = 0; r < h; ++r) {
+            const uint8_t *row = src.row(y + r) + x;
+            std::copy(row, row + w, out + r * w);
+        }
+        return;
+    }
+    for (int r = 0; r < h; ++r)
+        for (int c = 0; c < w; ++c)
+            out[r * w + c] = src.clampedAt(x + c, y + r);
+}
+
+/**
  * Sample an n x n motion-compensated prediction from @p ref at block
  * position (x, y) displaced by @p mv (half-pel). Out-of-frame samples
  * are edge-clamped.
@@ -37,6 +63,24 @@ void extractBlock(const Plane &src, int x, int y, int n, uint8_t *out);
 
 /** Sum of absolute differences between two n*n sample arrays. */
 uint32_t blockSad(const uint8_t *a, const uint8_t *b, int n);
+
+/**
+ * blockSad with a row-granular early exit: returns as soon as the
+ * running sum reaches @p bound. The return value is exact when it is
+ * below @p bound and otherwise only guaranteed to be >= @p bound, so
+ * strict less-than acceptance tests against @p bound are unaffected.
+ */
+uint32_t blockSadBounded(const uint8_t *a, const uint8_t *b, int n,
+                         uint32_t bound);
+
+/**
+ * SAD between a cached n x n source block @p cur (row stride n) and
+ * the block of @p ref at (rx, ry), with the same early-exit contract
+ * as blockSadBounded. The motion-search workhorse: the source block
+ * is fetched once per macroblock instead of once per candidate.
+ */
+uint32_t sadAgainstBlock(const uint8_t *cur, const Plane &ref, int rx,
+                         int ry, int n, uint32_t bound);
 
 /** Sum of squared errors between two n*n sample arrays. */
 uint64_t blockSse(const uint8_t *a, const uint8_t *b, int n);

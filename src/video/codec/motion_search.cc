@@ -25,13 +25,25 @@ struct Candidate
     uint32_t cost;
 };
 
+/**
+ * Cost of the integer candidate (dx, dy) against the cached source
+ * block, abandoning the SAD once the total can no longer be below
+ * @p bound. The return value is exact when < @p bound and otherwise
+ * >= @p bound, so strict less-than acceptance is unaffected.
+ */
 uint32_t
-integerCost(const Plane &src, const Plane &ref, int x, int y, int n, int dx,
-            int dy, Mv pred, uint32_t bias)
+integerCost(const uint8_t *cur, const Plane &ref, int x, int y, int n,
+            int dx, int dy, Mv pred, uint32_t bias, uint32_t bound)
 {
     const Mv mv{static_cast<int16_t>(dx * 2), static_cast<int16_t>(dy * 2)};
-    return sadAt(src, ref, x, y, n, dx, dy) + mvCost(mv, pred, bias);
+    const uint32_t mv_cost = mvCost(mv, pred, bias);
+    if (mv_cost >= bound)
+        return mv_cost;
+    return sadAgainstBlock(cur, ref, x + dx, y + dy, n, bound - mv_cost) +
+           mv_cost;
 }
+
+constexpr uint32_t kNoBound = UINT32_MAX;
 
 } // namespace
 
@@ -39,17 +51,24 @@ MotionResult
 searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
              Mv pred, int range, SearchKind kind, uint32_t mv_cost_bias)
 {
+    // The source block never changes across candidates: fetch it once
+    // per macroblock and run every SAD against the cached copy.
+    uint8_t cur[64 * 64];
+    WSVA_ASSERT(n <= 64, "search block too large");
+    extractBlock(src, x, y, n, cur);
+
     // Search is centered on the rounded integer predictor.
     const int cx = pred.x / 2;
     const int cy = pred.y / 2;
 
     Candidate best{cx, cy,
-                   integerCost(src, ref, x, y, n, cx, cy, pred,
-                               mv_cost_bias)};
+                   integerCost(cur, ref, x, y, n, cx, cy, pred,
+                               mv_cost_bias, kNoBound)};
     // The zero vector is always a candidate (static content wins big).
     if (cx != 0 || cy != 0) {
-        const uint32_t zero_cost =
-            integerCost(src, ref, x, y, n, 0, 0, pred, mv_cost_bias);
+        const uint32_t zero_cost = integerCost(cur, ref, x, y, n, 0, 0,
+                                               pred, mv_cost_bias,
+                                               best.cost);
         if (zero_cost < best.cost)
             best = {0, 0, zero_cost};
     }
@@ -57,9 +76,9 @@ searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
     if (kind == SearchKind::Exhaustive) {
         for (int dy = -range; dy <= range; ++dy) {
             for (int dx = -range; dx <= range; ++dx) {
-                const uint32_t cost = integerCost(src, ref, x, y, n, cx + dx,
-                                                  cy + dy, pred,
-                                                  mv_cost_bias);
+                const uint32_t cost =
+                    integerCost(cur, ref, x, y, n, cx + dx, cy + dy, pred,
+                                mv_cost_bias, best.cost);
                 if (cost < best.cost)
                     best = {cx + dx, cy + dy, cost};
             }
@@ -81,8 +100,9 @@ searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
                         std::abs(dy - cy) > range) {
                         continue;
                     }
-                    const uint32_t cost = integerCost(src, ref, x, y, n, dx,
-                                                      dy, pred, mv_cost_bias);
+                    const uint32_t cost =
+                        integerCost(cur, ref, x, y, n, dx, dy, pred,
+                                    mv_cost_bias, local.cost);
                     if (cost < local.cost)
                         local = {dx, dy, cost};
                 }
@@ -95,17 +115,19 @@ searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
         }
     }
 
-    // Half-pel refinement around the best integer vector.
-    uint8_t cur[64 * 64];
-    uint8_t predicted[64 * 64];
-    WSVA_ASSERT(n <= 64, "search block too large");
-    extractBlock(src, x, y, n, cur);
+    // Half-pel refinement around the best integer vector. Two
+    // prediction buffers ping-pong so the winning prediction is never
+    // recomputed.
+    uint8_t pred_a[64 * 64];
+    uint8_t pred_b[64 * 64];
+    uint8_t *best_pred = pred_a;
+    uint8_t *trial_pred = pred_b;
 
     Mv best_mv{static_cast<int16_t>(best.dx * 2),
                static_cast<int16_t>(best.dy * 2)};
-    motionCompensate(ref, x, y, n, best_mv, predicted);
-    uint32_t best_cost =
-        blockSad(cur, predicted, n) + mvCost(best_mv, pred, mv_cost_bias);
+    motionCompensate(ref, x, y, n, best_mv, best_pred);
+    uint32_t best_sad = blockSad(cur, best_pred, n);
+    uint32_t best_cost = best_sad + mvCost(best_mv, pred, mv_cost_bias);
 
     for (int dy = -1; dy <= 1; ++dy) {
         for (int dx = -1; dx <= 1; ++dx) {
@@ -113,20 +135,27 @@ searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
                 continue;
             const Mv mv{static_cast<int16_t>(best.dx * 2 + dx),
                         static_cast<int16_t>(best.dy * 2 + dy)};
-            motionCompensate(ref, x, y, n, mv, predicted);
-            const uint32_t cost = blockSad(cur, predicted, n) +
-                                  mvCost(mv, pred, mv_cost_bias);
+            // The MV cost alone can already rule a candidate out; skip
+            // the interpolation entirely then.
+            const uint32_t mv_cost = mvCost(mv, pred, mv_cost_bias);
+            if (mv_cost >= best_cost)
+                continue;
+            motionCompensate(ref, x, y, n, mv, trial_pred);
+            const uint32_t sad =
+                blockSadBounded(cur, trial_pred, n, best_cost - mv_cost);
+            const uint32_t cost = sad + mv_cost;
             if (cost < best_cost) {
                 best_cost = cost;
                 best_mv = mv;
+                best_sad = sad; // Exact: no early exit on acceptance.
+                std::swap(best_pred, trial_pred);
             }
         }
     }
 
     // Report the pure SAD at the chosen vector (the bias is a search
-    // heuristic, not part of the result).
-    motionCompensate(ref, x, y, n, best_mv, predicted);
-    return {best_mv, blockSad(cur, predicted, n)};
+    // heuristic, not part of the result); already computed above.
+    return {best_mv, best_sad};
 }
 
 } // namespace wsva::video::codec

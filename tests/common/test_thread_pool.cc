@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace wsva {
+namespace {
+
+TEST(ThreadPool, ResolveThreads)
+{
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1);
+    EXPECT_GE(ThreadPool::resolveThreads(-3), 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(1), 1);
+    EXPECT_EQ(ThreadPool::resolveThreads(7), 7);
+}
+
+TEST(ThreadPool, WorkerCountMatchesRequest)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.workerCount(), 3);
+    ThreadPool defaulted;
+    EXPECT_GE(defaulted.workerCount(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsValue)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { return 6 * 7; });
+    EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, SubmitRunsOnWorkerThread)
+{
+    ThreadPool pool(2);
+    const auto caller = std::this_thread::get_id();
+    auto f = pool.submit([] { return std::this_thread::get_id(); });
+    EXPECT_NE(f.get(), caller);
+}
+
+TEST(ThreadPool, ManySubmitsAllComplete)
+{
+    ThreadPool pool(4);
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 500; ++i) {
+        futures.push_back(pool.submit(
+            [&counter] { counter.fetch_add(1); }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, WorkIsStolenAcrossWorkers)
+{
+    // Round-robin placement plus stealing: with many more tasks than
+    // workers, more than one worker must end up executing tasks.
+    ThreadPool pool(4);
+    std::mutex mutex;
+    std::set<std::thread::id> seen;
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&] {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            std::lock_guard<std::mutex> lock(mutex);
+            seen.insert(std::this_thread::get_id());
+        }));
+    }
+    for (auto &f : futures)
+        f.get();
+    EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitPropagatesException)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit(
+        []() -> int { throw std::runtime_error("boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork)
+{
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i)
+            pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForZeroItems)
+{
+    ThreadPool pool(4);
+    bool ran = false;
+    pool.parallelFor(0, [&](size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForOneItemRunsInline)
+{
+    ThreadPool pool(4);
+    std::thread::id runner;
+    pool.parallelFor(1, [&](size_t i) {
+        EXPECT_EQ(i, 0u);
+        runner = std::this_thread::get_id();
+    });
+    EXPECT_EQ(runner, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    constexpr size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallelFor(kCount,
+                     [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kCount; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForMoreItemsThanWorkers)
+{
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    pool.parallelFor(100, [&](size_t i) {
+        sum.fetch_add(static_cast<long>(i));
+    });
+    EXPECT_EQ(sum.load(), 99L * 100L / 2L);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [&](size_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("37");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForUsableRepeatedly)
+{
+    ThreadPool pool(3);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<int> counter{0};
+        pool.parallelFor(17, [&](size_t) { counter.fetch_add(1); });
+        ASSERT_EQ(counter.load(), 17);
+    }
+}
+
+} // namespace
+} // namespace wsva

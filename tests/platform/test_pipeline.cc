@@ -123,6 +123,70 @@ TEST(Pipeline, IntegrityCatchesLengthMismatch)
     EXPECT_NE(error.find("length mismatch"), std::string::npos);
 }
 
+/**
+ * The parallel fan-out must be invisible in the output: encoding
+ * with a 4-worker pool yields byte-identical chunk payloads to the
+ * fully serial path, for both codec profiles (closed-GOP chunks +
+ * deterministic assembly order).
+ */
+class ParallelDeterminism : public testing::TestWithParam<CodecType>
+{
+};
+
+TEST_P(ParallelDeterminism, FourThreadsMatchSerialByteExact)
+{
+    auto clip = sourceClip(20);
+    PipelineConfig cfg = fastConfig();
+    cfg.chunk_frames = 5; // 4 chunks x 2 rungs = 8 jobs.
+    cfg.encoder.rc_mode = wsva::video::codec::RcMode::TwoPassOffline;
+    cfg.encoder.target_bitrate_bps = 300e3;
+    const std::vector<Resolution> outputs = {{128, 72}, {64, 36}};
+
+    cfg.num_threads = 1;
+    auto serial = transcodeMot(clip, outputs, GetParam(), cfg);
+    cfg.num_threads = 4;
+    auto parallel = transcodeMot(clip, outputs, GetParam(), cfg);
+
+    ASSERT_TRUE(serial.integrity_ok) << serial.integrity_error;
+    ASSERT_TRUE(parallel.integrity_ok) << parallel.integrity_error;
+    ASSERT_EQ(serial.variants.size(), parallel.variants.size());
+    for (size_t v = 0; v < serial.variants.size(); ++v) {
+        const auto &sv = serial.variants[v];
+        const auto &pv = parallel.variants[v];
+        ASSERT_EQ(sv.chunks.size(), pv.chunks.size());
+        for (size_t c = 0; c < sv.chunks.size(); ++c) {
+            EXPECT_EQ(sv.chunks[c].bytes, pv.chunks[c].bytes)
+                << "variant " << v << " chunk " << c;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codecs, ParallelDeterminism,
+    testing::Values(CodecType::H264, CodecType::VP9),
+    [](const testing::TestParamInfo<CodecType> &info) {
+        return std::string(
+            wsva::video::codec::codecName(info.param));
+    });
+
+TEST(Pipeline, DefaultThreadCountMatchesSerialByteExact)
+{
+    // num_threads = 0 (hardware concurrency) is the production
+    // default; it must also be bit-exact against the serial path.
+    auto clip = sourceClip(16);
+    PipelineConfig cfg = fastConfig();
+    cfg.num_threads = 1;
+    auto serial = transcodeSot(clip, {128, 72}, CodecType::VP9, cfg);
+    cfg.num_threads = 0;
+    auto parallel = transcodeSot(clip, {128, 72}, CodecType::VP9, cfg);
+    ASSERT_EQ(serial.variants[0].chunks.size(),
+              parallel.variants[0].chunks.size());
+    for (size_t c = 0; c < serial.variants[0].chunks.size(); ++c) {
+        EXPECT_EQ(serial.variants[0].chunks[c].bytes,
+                  parallel.variants[0].chunks[c].bytes);
+    }
+}
+
 TEST(Pipeline, RateControlledMotSharesStats)
 {
     auto clip = sourceClip(16);
