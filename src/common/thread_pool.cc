@@ -47,11 +47,23 @@ ThreadPool::enqueue(std::function<void()> job)
     const size_t target =
         next_queue_.fetch_add(1, std::memory_order_relaxed) %
         queues_.size();
+    // Count the job before publishing it, and do the increment under
+    // sleep_mutex_: a worker that just evaluated the wait predicate
+    // (seeing pending_ == 0) holds that mutex until it blocks, so the
+    // increment — and therefore the notify below — cannot slip into
+    // the window between its predicate check and its wait, which
+    // would lose the wakeup and strand the job. Incrementing before
+    // the push also means a concurrent pop can never drive pending_
+    // below zero (it is unsigned; underflow would leave the wait
+    // predicate spuriously true).
+    {
+        std::lock_guard<std::mutex> lock(sleep_mutex_);
+        pending_.fetch_add(1, std::memory_order_release);
+    }
     {
         std::lock_guard<std::mutex> lock(queues_[target]->mutex);
         queues_[target]->jobs.push_back(std::move(job));
     }
-    pending_.fetch_add(1, std::memory_order_release);
     wakeup_.notify_one();
 }
 

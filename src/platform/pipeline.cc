@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -91,6 +92,24 @@ encodeChunkJob(const std::vector<Frame> &chunk, Resolution resolution,
     return encodeSequenceWithStats(ecfg, scaled, std::move(stats));
 }
 
+/**
+ * Process-wide transcode pool, created lazily and reused across
+ * calls so repeated short transcodes do not pay thread creation and
+ * join per invocation. Rebuilt only when the requested worker count
+ * changes; the shared_ptr keeps the old pool alive for in-flight
+ * callers if a concurrent call with a different size swaps it out.
+ */
+std::shared_ptr<wsva::ThreadPool>
+sharedTranscodePool(int workers)
+{
+    static std::mutex mutex;
+    static std::shared_ptr<wsva::ThreadPool> pool;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!pool || pool->workerCount() != workers)
+        pool = std::make_shared<wsva::ThreadPool>(workers);
+    return pool;
+}
+
 } // namespace
 
 TranscodeResult
@@ -114,14 +133,20 @@ transcodeMot(const std::vector<Frame> &source,
     // Chunks are closed GOPs and rungs are independent, so the
     // chunk x rung encode jobs are embarrassingly parallel. Every
     // result lands in its pre-assigned slot, so scheduling order
-    // never affects the output bytes.
-    const int want_threads = std::min<size_t>(
-        static_cast<size_t>(
-            wsva::ThreadPool::resolveThreads(cfg.num_threads)),
-        std::max(jobs, chunks.size()));
-    std::unique_ptr<wsva::ThreadPool> pool;
-    if (want_threads > 1)
-        pool = std::make_unique<wsva::ThreadPool>(want_threads);
+    // never affects the output bytes. Workers come from the caller's
+    // pool if one is supplied, else from the shared process-wide
+    // pool; parallelFor bounds its helpers by the job count, so small
+    // jobs never over-subscribe.
+    std::shared_ptr<wsva::ThreadPool> shared;
+    wsva::ThreadPool *pool = cfg.pool;
+    if (pool == nullptr) {
+        const int want_threads =
+            wsva::ThreadPool::resolveThreads(cfg.num_threads);
+        if (want_threads > 1 && jobs > 1) {
+            shared = sharedTranscodePool(want_threads);
+            pool = shared.get();
+        }
+    }
 
     const auto runFor = [&](size_t count,
                             const std::function<void(size_t)> &body) {

@@ -16,6 +16,10 @@
 #include "video/codec/encoder.h"
 #include "video/scaler.h"
 
+namespace wsva {
+class ThreadPool;
+}
+
 namespace wsva::platform {
 
 using wsva::video::Frame;
@@ -69,9 +73,21 @@ struct PipelineConfig
      * hardware thread, 1 = fully serial (no pool). Chunks are closed
      * GOPs and rungs are independent, so every schedule produces
      * bit-identical output — results are assembled in chunk order
-     * regardless of completion order.
+     * regardless of completion order. Workers come from a
+     * process-wide pool that is created lazily and reused across
+     * transcode calls, so back-to-back short clips do not pay thread
+     * creation/join per invocation.
      */
     int num_threads = 0;
+
+    /**
+     * Optional externally owned pool for the fan-out (e.g. one shared
+     * by a cluster scheduler). When set it is used as-is and
+     * num_threads is ignored; when null, the process-wide pool sized
+     * by num_threads is used. The pool must outlive the transcode
+     * call.
+     */
+    wsva::ThreadPool *pool = nullptr;
 };
 
 /**

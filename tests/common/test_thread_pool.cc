@@ -78,6 +78,26 @@ TEST(ThreadPool, WorkIsStolenAcrossWorkers)
     EXPECT_GT(seen.size(), 1u);
 }
 
+TEST(ThreadPool, SubmitWakesSleepingWorker)
+{
+    // Lost-wakeup regression: enqueue must publish pending_ under the
+    // wakeup mutex, otherwise a worker can re-check its wait
+    // predicate (seeing no work), block after the producer's notify
+    // already fired, and strand the job. One-off submits separated by
+    // idle gaps make the workers park between jobs, hitting exactly
+    // that window; with the race present, a future below never
+    // becomes ready.
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        auto f = pool.submit([i] { return i; });
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "submit " << i << " never ran (lost wakeup)";
+        EXPECT_EQ(f.get(), i);
+    }
+}
+
 TEST(ThreadPool, SubmitPropagatesException)
 {
     ThreadPool pool(2);
