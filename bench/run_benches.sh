@@ -18,3 +18,8 @@ echo "Running bench_parallel_pipeline ..." >&2
 "$build_dir/bench/bench_parallel_pipeline" \
     > "$repo_root/BENCH_pipeline.json"
 echo "Wrote $repo_root/BENCH_pipeline.json" >&2
+
+echo "Running bench_cluster ..." >&2
+"$build_dir/bench/bench_cluster" \
+    > "$repo_root/BENCH_cluster.json"
+echo "Wrote $repo_root/BENCH_cluster.json" >&2

@@ -8,10 +8,15 @@
 namespace wsva::cluster {
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed), repairs_(cfg.failure)
+    : cfg_(cfg), rng_(cfg.seed), repairs_(cfg.failure),
+      trace_(cfg.trace_capacity)
 {
     WSVA_ASSERT(cfg_.hosts > 0 && cfg_.vcus_per_host > 0,
                 "cluster needs hosts and VCUs");
+
+    registry_.setEnabled(cfg_.observability);
+    trace_.setEnabled(cfg_.observability);
+    repairs_.attachObservability(&registry_, &trace_);
 
     std::vector<Worker *> all_workers;
     int worker_id = 0;
@@ -29,10 +34,10 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     // Bind after the host vector is stable (no more moves).
     for (auto &host : hosts_) {
         for (int v = 0; v < cfg_.vcus_per_host; ++v) {
-            host.workers[static_cast<size_t>(v)]->bindVcu(
-                &host.vcu_health[static_cast<size_t>(v)]);
-            all_workers.push_back(
-                host.workers[static_cast<size_t>(v)].get());
+            Worker *w = host.workers[static_cast<size_t>(v)].get();
+            w->bindVcu(&host.vcu_health[static_cast<size_t>(v)]);
+            w->attachObservability(&registry_, &trace_);
+            all_workers.push_back(w);
         }
     }
 
@@ -56,12 +61,21 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
         }
         scheduler_ = std::make_unique<SlotScheduler>(all_workers, slot);
     }
+    scheduler_->attachMetrics(&registry_);
+
+    submitted_counter_ = registry_.counterHandle("cluster.steps_submitted");
+    completed_counter_ = registry_.counterHandle("cluster.steps_completed");
+    retried_counter_ = registry_.counterHandle("cluster.steps_retried");
+    failed_counter_ = registry_.counterHandle("cluster.steps_failed");
 }
 
 void
 ClusterSim::submit(const TranscodeStep &step)
 {
     backlog_.push_back(step);
+    ++submitted_total_;
+    ++metrics_.steps_submitted;
+    submitted_counter_.inc();
 }
 
 Worker *
@@ -75,7 +89,6 @@ ClusterSim::workerAt(int host, int vcu)
 void
 ClusterSim::injectFaults(double now, double dt)
 {
-    (void)now;
     const double hours = dt / 3600.0;
     const double p_hard =
         1.0 - std::exp(-cfg_.vcu_hard_fault_per_hour * hours);
@@ -84,18 +97,30 @@ ClusterSim::injectFaults(double now, double dt)
     for (auto &host : hosts_) {
         if (host.in_repair)
             continue;
-        for (auto &health : host.vcu_health) {
+        for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+            VcuHealth &health = host.vcu_health[v];
             if (health.disabled)
                 continue;
+            const int vcu_gid =
+                host.id * cfg_.vcus_per_host + static_cast<int>(v);
             if (p_hard > 0 && rng_.bernoulli(p_hard)) {
-                health.disabled = true;
+                // Timestamp the fault so completion collection can
+                // tell work that finished before the device died
+                // from work the fault actually cut short.
+                health.markFaulted(now);
                 ++host.fault_count;
                 ++metrics_.vcus_disabled;
+                registry_.inc("cluster.vcus_disabled");
+                trace_.record(TraceEventType::FaultInjected, now,
+                              host.id, vcu_gid);
             }
             if (!health.silent_fault && p_silent > 0 &&
                 rng_.bernoulli(p_silent)) {
                 health.silent_fault = true;
                 health.speed_factor = cfg_.silent_speed_factor;
+                registry_.inc("cluster.silent_faults");
+                trace_.record(TraceEventType::SilentFaultInjected, now,
+                              host.id, vcu_gid);
             }
         }
     }
@@ -112,11 +137,15 @@ ClusterSim::manageRepairs(double now)
                 host.in_repair = true;
                 // Everything on the host is drained/disabled.
                 for (size_t v = 0; v < host.vcu_health.size(); ++v) {
-                    host.vcu_health[v].disabled = true;
+                    host.vcu_health[v].markFaulted(now);
                     auto aborted =
                         host.workers[v]->abortAll();
                     for (auto &step : aborted) {
                         ++metrics_.steps_retried;
+                        retried_counter_.inc();
+                        trace_.record(TraceEventType::StepRetried, now,
+                                      host.id, host.workers[v]->id(),
+                                      step.id, step.video_id);
                         backlog_.push_front(step);
                     }
                 }
@@ -128,6 +157,7 @@ ClusterSim::manageRepairs(double now)
         host.in_repair = false;
         host.fault_count = 0;
         ++metrics_.hosts_repaired;
+        registry_.inc("cluster.hosts_repaired");
         for (size_t v = 0; v < host.vcu_health.size(); ++v) {
             host.vcu_health[v] = VcuHealth{};
             host.workers[v]->repairReset();
@@ -143,41 +173,58 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
             Worker *w = host.workers[v].get();
             const int vcu_gid =
                 host.id * cfg_.vcus_per_host + static_cast<int>(v);
+            const auto retryStep = [&](const TranscodeStep &step) {
+                ++metrics.steps_retried;
+                retried_counter_.inc();
+                trace_.record(TraceEventType::StepRetried, now,
+                              host.id, w->id(), step.id,
+                              step.video_id);
+                backlog_.push_front(step);
+            };
             for (auto &outcome : w->collectFinished(now)) {
                 if (!outcome.ok) {
                     // Hardware failure: retry at the cluster level;
                     // with the mitigation the worker aborts all of
                     // its other in-flight work too.
                     ++metrics.steps_failed;
-                    ++metrics.steps_retried;
-                    backlog_.push_front(outcome.step);
+                    failed_counter_.inc();
+                    trace_.record(TraceEventType::StepFailed, now,
+                                  host.id, w->id(), outcome.step.id,
+                                  outcome.step.video_id);
+                    retryStep(outcome.step);
                     if (cfg_.failure.abort_on_failure) {
-                        for (auto &step : w->abortAll()) {
-                            ++metrics.steps_retried;
-                            backlog_.push_front(step);
-                        }
+                        for (auto &step : w->abortAll())
+                            retryStep(step);
                     }
                     continue;
                 }
                 if (outcome.corrupt) {
+                    trace_.record(TraceEventType::StepCorrupt, now,
+                                  host.id, w->id(), outcome.step.id,
+                                  outcome.step.video_id);
                     const bool detected = rng_.bernoulli(
                         cfg_.failure.integrity_detect_prob);
                     if (detected) {
                         ++metrics.corrupt_detected;
-                        ++metrics.steps_retried;
+                        registry_.inc("cluster.corrupt_detected");
                         blast_.recordDetectedCorruption(
                             outcome.step.video_id, vcu_gid);
-                        backlog_.push_front(outcome.step);
+                        retryStep(outcome.step);
                         if (cfg_.failure.abort_on_failure) {
-                            for (auto &step : w->abortAll()) {
-                                ++metrics.steps_retried;
-                                backlog_.push_front(step);
-                            }
+                            for (auto &step : w->abortAll())
+                                retryStep(step);
                         }
                         ++host.fault_count;
                     } else {
                         ++metrics.corrupt_escaped;
                         ++metrics.steps_completed;
+                        ++completed_total_;
+                        registry_.inc("cluster.corrupt_escaped");
+                        completed_counter_.inc();
+                        trace_.record(TraceEventType::StepCompleted,
+                                      now, host.id, w->id(),
+                                      outcome.step.id,
+                                      outcome.step.video_id);
                         metrics.corrupt_pixels +=
                             outcome.step.outputPixels();
                         blast_.recordEscapedCorruption(
@@ -186,6 +233,11 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                     continue;
                 }
                 ++metrics.steps_completed;
+                ++completed_total_;
+                completed_counter_.inc();
+                trace_.record(TraceEventType::StepCompleted, now,
+                              host.id, w->id(), outcome.step.id,
+                              outcome.step.video_id);
                 metrics.output_pixels += outcome.step.outputPixels();
             }
         }
@@ -246,6 +298,9 @@ ClusterSim::scheduleBacklog(double now)
             if (!w->goldenScreen()) {
                 w->setRefused(true);
                 ++metrics_.workers_quarantined;
+                registry_.inc("cluster.workers_quarantined");
+                trace_.record(TraceEventType::WorkerQuarantined, now,
+                              gid / cfg_.vcus_per_host, gid);
                 continue; // Re-pick; the worker is now skipped.
             }
             w->clearScreen();
@@ -260,6 +315,104 @@ ClusterSim::scheduleBacklog(double now)
         w->assign(step, reservation, now, service);
         blast_.recordChunk(step.video_id, gid);
     }
+}
+
+size_t
+ClusterSim::inFlightSteps() const
+{
+    size_t in_flight = 0;
+    for (const auto &host : hosts_) {
+        for (const auto &w : host.workers)
+            in_flight += w->runningSteps();
+    }
+    return in_flight;
+}
+
+ConservationSnapshot
+ClusterSim::conservation() const
+{
+    ConservationSnapshot snap;
+    snap.submitted = submitted_total_;
+    snap.completed = completed_total_;
+    snap.failed_terminal = failed_terminal_total_;
+    snap.in_flight = inFlightSteps();
+    snap.backlog = backlog_.size();
+    return snap;
+}
+
+void
+ClusterSim::checkConservation(double now)
+{
+    // The invariant behind all the failure accounting: every step
+    // ever submitted is terminally done, terminally failed, running,
+    // or queued. This runs regardless of cfg_.observability — it is
+    // an audit of the simulator itself, and it is exactly what makes
+    // the fault/retry counter bugs a class that cannot silently
+    // regress. Debug builds abort on violation; release builds count
+    // and warn so a long bench run still finishes with evidence.
+    const ConservationSnapshot snap = conservation();
+    ++metrics_.conservation_checks;
+    if (!snap.holds()) {
+        ++metrics_.conservation_violations;
+        registry_.inc("cluster.conservation_violations");
+        warn("step conservation violated at t=%.3f: submitted %llu != "
+             "completed %llu + failed %llu + in-flight %llu + "
+             "backlog %llu",
+             now, static_cast<unsigned long long>(snap.submitted),
+             static_cast<unsigned long long>(snap.completed),
+             static_cast<unsigned long long>(snap.failed_terminal),
+             static_cast<unsigned long long>(snap.in_flight),
+             static_cast<unsigned long long>(snap.backlog));
+#ifndef NDEBUG
+        WSVA_ASSERT(false, "step conservation violated at t=%.3f", now);
+#endif
+    }
+}
+
+void
+ClusterSim::sampleTick(double now)
+{
+    // Utilization sampling across usable workers.
+    double enc = 0;
+    double dec = 0;
+    double cpu = 0;
+    int n = 0;
+    for (auto &host : hosts_) {
+        if (host.in_repair)
+            continue;
+        for (size_t v = 0; v < host.workers.size(); ++v) {
+            if (host.vcu_health[v].disabled)
+                continue;
+            const Worker *w = host.workers[v].get();
+            enc += w->dimensionUtilization(kResEncodeMillicores);
+            dec += w->dimensionUtilization(kResDecodeMillicores);
+            cpu += w->dimensionUtilization(kResHostCpuMillicores);
+            ++n;
+        }
+    }
+    if (n > 0) {
+        enc_util_samples_.add(enc / n);
+        dec_util_samples_.add(dec / n);
+        cpu_util_samples_.add(cpu / n);
+    }
+
+    if (!registry_.enabled())
+        return;
+    if (n > 0) {
+        registry_.sample("util.encoder", now, enc / n);
+        registry_.sample("util.decoder", now, dec / n);
+        registry_.sample("util.host_cpu", now, cpu / n);
+    }
+    registry_.sample("backlog", now,
+                     static_cast<double>(backlog_.size()));
+    registry_.sample("in_flight", now,
+                     static_cast<double>(inFlightSteps()));
+    registry_.sample("steps_retried", now,
+                     static_cast<double>(metrics_.steps_retried));
+    registry_.sample("workers_quarantined", now,
+                     static_cast<double>(metrics_.workers_quarantined));
+    registry_.sample("hosts_in_repair", now,
+                     static_cast<double>(repairs_.inRepair()));
 }
 
 ClusterMetrics
@@ -277,41 +430,24 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
         now += dt;
         clock_ = now;
         if (arrivals) {
-            for (auto &step : arrivals(now, dt))
+            for (auto &step : arrivals(now, dt)) {
                 backlog_.push_back(step);
+                ++submitted_total_;
+                ++metrics_.steps_submitted;
+                submitted_counter_.inc();
+            }
         }
         injectFaults(now, dt);
         manageRepairs(now);
         collectCompletions(now, metrics_);
         scheduleBacklog(now);
-
-        // Utilization sampling across usable workers.
-        double enc = 0;
-        double dec = 0;
-        double cpu = 0;
-        int n = 0;
-        for (auto &host : hosts_) {
-            if (host.in_repair)
-                continue;
-            for (size_t v = 0; v < host.workers.size(); ++v) {
-                if (host.vcu_health[v].disabled)
-                    continue;
-                const Worker *w = host.workers[v].get();
-                enc += w->dimensionUtilization(kResEncodeMillicores);
-                dec += w->dimensionUtilization(kResDecodeMillicores);
-                cpu += w->dimensionUtilization(kResHostCpuMillicores);
-                ++n;
-            }
-        }
-        if (n > 0) {
-            enc_util_samples_.add(enc / n);
-            dec_util_samples_.add(dec / n);
-            cpu_util_samples_.add(cpu / n);
-        }
+        checkConservation(now);
+        sampleTick(now);
     }
 
     // Final drain of completions right at the horizon.
     collectCompletions(now, metrics_);
+    checkConservation(now);
 
     metrics_.sim_seconds = now - start;
     metrics_.mpix_per_vcu = metrics_.output_pixels /
@@ -322,7 +458,48 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
     metrics_.sched_placed = scheduler_->stats().placed;
     metrics_.sched_rejected = scheduler_->stats().rejected;
     metrics_.backlog_remaining = backlog_.size();
+    // Work still on workers at the horizon used to vanish from the
+    // ledger: not completed, not failed, not backlog. Surface it.
+    metrics_.steps_in_flight = inFlightSteps();
+
+    if (registry_.enabled()) {
+        blast_.exportTo(registry_);
+        registry_.setGauge("cluster.backlog_remaining",
+                           static_cast<double>(backlog_.size()));
+        registry_.setGauge(
+            "cluster.steps_in_flight",
+            static_cast<double>(metrics_.steps_in_flight));
+        registry_.setGauge("cluster.encoder_utilization",
+                           metrics_.encoder_utilization);
+        registry_.setGauge("cluster.decoder_utilization",
+                           metrics_.decoder_utilization);
+        registry_.setGauge("cluster.host_cpu_utilization",
+                           metrics_.host_cpu_utilization);
+        registry_.setGauge("cluster.mpix_per_vcu",
+                           metrics_.mpix_per_vcu);
+    }
     return metrics_;
+}
+
+std::string
+ClusterSim::exportJson(size_t max_trace_events) const
+{
+    const ConservationSnapshot snap = conservation();
+    std::string out = "{\n\"metrics\": ";
+    out += registry_.toJson();
+    out += ",\n\"trace\": ";
+    out += trace_.toJson(max_trace_events);
+    out += strformat(
+        ",\n\"conservation\": {\"submitted\": %llu, "
+        "\"completed\": %llu, \"failed_terminal\": %llu, "
+        "\"in_flight\": %llu, \"backlog\": %llu, \"holds\": %s}\n}",
+        static_cast<unsigned long long>(snap.submitted),
+        static_cast<unsigned long long>(snap.completed),
+        static_cast<unsigned long long>(snap.failed_terminal),
+        static_cast<unsigned long long>(snap.in_flight),
+        static_cast<unsigned long long>(snap.backlog),
+        snap.holds() ? "true" : "false");
+    return out;
 }
 
 } // namespace wsva::cluster

@@ -22,6 +22,7 @@
 #include "cluster/scheduler.h"
 #include "cluster/work.h"
 #include "cluster/worker.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -62,6 +63,17 @@ struct ClusterConfig
     bool use_consistent_hashing = false;
     size_t affinity_set_size = 3;
 
+    /**
+     * Enable the metrics registry and trace log. Off, every record
+     * call reduces to an atomic load, which is what the overhead
+     * comparison in bench_cluster measures. The step-conservation
+     * checker runs regardless (it is an invariant, not a metric).
+     */
+    bool observability = true;
+
+    /** Trace ring-buffer capacity (most recent events kept). */
+    size_t trace_capacity = 1 << 16;
+
     uint64_t seed = 1;
 };
 
@@ -90,9 +102,22 @@ struct ClusterMetrics
     uint64_t sched_placed = 0;
     uint64_t sched_rejected = 0;
     size_t backlog_remaining = 0;
+
+    /** Steps that entered the system during this run() call. */
+    uint64_t steps_submitted = 0;
+
+    /** Work still on workers when the horizon was reached. Without
+     *  this the horizon silently ate in-flight steps and the ledger
+     *  did not balance. */
+    size_t steps_in_flight = 0;
+
     uint64_t hosts_repaired = 0;
     int vcus_disabled = 0;
     int workers_quarantined = 0;
+
+    /** Step-conservation invariant audits (one per tick). */
+    uint64_t conservation_checks = 0;
+    uint64_t conservation_violations = 0;
 };
 
 /** One host: 20 VCUs, each with exclusive worker + health state. */
@@ -108,6 +133,29 @@ struct HostModel
 /** Arrival callback: steps arriving in (now - dt, now]. */
 using ArrivalFn =
     std::function<std::vector<TranscodeStep>(double now, double dt)>;
+
+/**
+ * Step ledger over the whole life of a ClusterSim (across run()
+ * calls). Every step that ever entered the system must be in exactly
+ * one bucket: terminally done, running on a worker, queued, or
+ * terminally failed. Failure paths in this simulator retry, so a
+ * retried step simply moves back to the backlog bucket; nothing may
+ * vanish. holds() is the invariant asserted every tick.
+ */
+struct ConservationSnapshot
+{
+    uint64_t submitted = 0;       //!< Ever entered (submit/arrivals).
+    uint64_t completed = 0;       //!< Terminal: good or escaped-corrupt.
+    uint64_t failed_terminal = 0; //!< Terminal failures (none today).
+    uint64_t in_flight = 0;       //!< Currently on workers.
+    uint64_t backlog = 0;         //!< Queued (incl. retries).
+
+    bool holds() const
+    {
+        return submitted ==
+               completed + failed_terminal + in_flight + backlog;
+    }
+};
 
 /** The cluster simulator. */
 class ClusterSim
@@ -131,11 +179,37 @@ class ClusterSim
     /** Total provisioned VCUs. */
     int totalVcus() const { return cfg_.hosts * cfg_.vcus_per_host; }
 
+    /** The metrics registry (counters/gauges/histograms/series). */
+    const wsva::MetricsRegistry &metricsRegistry() const
+    {
+        return registry_;
+    }
+    wsva::MetricsRegistry &metricsRegistry() { return registry_; }
+
+    /** The structured event log. */
+    const wsva::TraceLog &traceLog() const { return trace_; }
+    wsva::TraceLog &traceLog() { return trace_; }
+
+    /** Current step ledger (valid between ticks and after run()). */
+    ConservationSnapshot conservation() const;
+
+    /** Steps currently running across all workers. */
+    size_t inFlightSteps() const;
+
+    /**
+     * JSON dump of the whole observability state: registry metrics,
+     * the last @p max_trace_events trace events (plus lifetime event
+     * counts), and the conservation ledger.
+     */
+    std::string exportJson(size_t max_trace_events = 256) const;
+
   private:
     void injectFaults(double now, double dt);
     void manageRepairs(double now);
     void collectCompletions(double now, ClusterMetrics &metrics);
     void scheduleBacklog(double now);
+    void checkConservation(double now);
+    void sampleTick(double now);
     Worker *workerAt(int host, int vcu);
 
     ClusterConfig cfg_;
@@ -147,6 +221,20 @@ class ClusterSim
     std::deque<TranscodeStep> backlog_;
     RepairQueue repairs_;
     BlastRadiusTracker blast_;
+    wsva::MetricsRegistry registry_;
+    wsva::TraceLog trace_;
+
+    // Pre-resolved handles for the per-step counters (hot paths run
+    // once per step per tick; handles skip the name lookup).
+    wsva::CounterHandle submitted_counter_;
+    wsva::CounterHandle completed_counter_;
+    wsva::CounterHandle retried_counter_;
+    wsva::CounterHandle failed_counter_;
+
+    // Lifetime step ledger (never reset; spans run() calls).
+    uint64_t submitted_total_ = 0;
+    uint64_t completed_total_ = 0;
+    uint64_t failed_terminal_total_ = 0;
 
     // Time-weighted utilization accumulators.
     wsva::RunningStat enc_util_samples_;

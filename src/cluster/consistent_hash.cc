@@ -28,29 +28,27 @@ ConsistentHashRing::ConsistentHashRing(const std::vector<int> &worker_ids,
 void
 ConsistentHashRing::addWorker(int worker_id)
 {
+    if (!ids_.insert(worker_id).second)
+        return; // Already on the ring; re-adding must not double-count.
     for (int v = 0; v < virtual_nodes_; ++v) {
         const uint64_t pos =
             mix((static_cast<uint64_t>(static_cast<uint32_t>(worker_id))
                  << 20) ^ static_cast<uint64_t>(v));
         ring_[pos] = worker_id;
     }
-    ++workers_;
 }
 
 void
 ConsistentHashRing::removeWorker(int worker_id)
 {
-    bool removed = false;
+    if (ids_.erase(worker_id) == 0)
+        return;
     for (auto it = ring_.begin(); it != ring_.end();) {
-        if (it->second == worker_id) {
+        if (it->second == worker_id)
             it = ring_.erase(it);
-            removed = true;
-        } else {
+        else
             ++it;
-        }
     }
-    if (removed)
-        --workers_;
 }
 
 std::vector<int>
@@ -59,7 +57,7 @@ ConsistentHashRing::affinitySet(uint64_t key, size_t count) const
     std::vector<int> result;
     if (ring_.empty())
         return result;
-    count = std::min(count, workers_);
+    count = std::min(count, ids_.size());
 
     auto it = ring_.lower_bound(mix(key));
     while (result.size() < count) {

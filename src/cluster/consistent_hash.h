@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <vector>
 
 namespace wsva::cluster {
@@ -38,20 +39,24 @@ class ConsistentHashRing
      */
     std::vector<int> affinitySet(uint64_t key, size_t count) const;
 
-    /** Remove a worker (failed/disabled); its keys spill over. */
+    /** Remove a worker (failed/disabled); its keys spill over.
+     *  Removing an id not on the ring is a no-op. */
     void removeWorker(int worker_id);
 
-    /** Add a worker (repair completed). */
+    /** Add a worker (repair completed). Adding an id already on the
+     *  ring is a no-op, so the worker count always matches the number
+     *  of distinct ids (affinitySet would otherwise spin forever
+     *  asking for more distinct workers than exist). */
     void addWorker(int worker_id);
 
-    size_t workerCount() const { return workers_; }
+    size_t workerCount() const { return ids_.size(); }
 
   private:
     static uint64_t mix(uint64_t value);
 
     std::map<uint64_t, int> ring_; //!< ring position -> worker id.
+    std::set<int> ids_;            //!< distinct worker ids on the ring.
     int virtual_nodes_;
-    size_t workers_ = 0;
 };
 
 } // namespace wsva::cluster

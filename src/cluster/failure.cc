@@ -1,6 +1,9 @@
 #include "cluster/failure.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace wsva::cluster {
 
@@ -12,10 +15,16 @@ RepairQueue::tryEnter(int host_id, double now)
     if (repairing_.size() >=
         static_cast<size_t>(policy_.repair_cap)) {
         ++cap_deferrals_;
+        if (metrics_ != nullptr)
+            metrics_->inc("repair.cap_deferrals");
         return false;
     }
     repairing_[host_id] = now + policy_.repair_seconds;
     ++total_repairs_;
+    if (metrics_ != nullptr)
+        metrics_->inc("repair.entered");
+    if (trace_ != nullptr)
+        trace_->record(TraceEventType::HostEnterRepair, now, host_id);
     return true;
 }
 
@@ -30,6 +39,12 @@ RepairQueue::collectRepaired(double now)
         } else {
             ++it;
         }
+    }
+    for (int host_id : done) {
+        if (metrics_ != nullptr)
+            metrics_->inc("repair.completed");
+        if (trace_ != nullptr)
+            trace_->record(TraceEventType::HostRepaired, now, host_id);
     }
     return done;
 }
@@ -83,6 +98,32 @@ BlastRadiusTracker::mostSuspectVcu() const
         }
     }
     return best;
+}
+
+size_t
+BlastRadiusTracker::maxVcusPerVideo() const
+{
+    size_t widest = 0;
+    for (const auto &[video, vcus] : video_vcus_)
+        widest = std::max(widest, vcus.size());
+    return widest;
+}
+
+void
+BlastRadiusTracker::exportTo(wsva::MetricsRegistry &metrics) const
+{
+    metrics.setGauge("blast.videos_tracked",
+                     static_cast<double>(video_vcus_.size()));
+    metrics.setGauge("blast.corrupt_videos",
+                     static_cast<double>(corrupt_videos_.size()));
+    metrics.setGauge("blast.detected_chunks",
+                     static_cast<double>(detected_));
+    metrics.setGauge("blast.escaped_chunks",
+                     static_cast<double>(escaped_));
+    metrics.setGauge("blast.max_vcus_per_video",
+                     static_cast<double>(maxVcusPerVideo()));
+    metrics.setGauge("blast.most_suspect_vcu",
+                     static_cast<double>(mostSuspectVcu()));
 }
 
 } // namespace wsva::cluster

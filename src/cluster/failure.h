@@ -14,6 +14,11 @@
 #include <set>
 #include <vector>
 
+namespace wsva {
+class MetricsRegistry;
+class TraceLog;
+} // namespace wsva
+
 namespace wsva::cluster {
 
 /** Failure-management policy knobs. */
@@ -45,6 +50,16 @@ class RepairQueue
   public:
     explicit RepairQueue(const FailurePolicy &policy) : policy_(policy) {}
 
+    /** Attach observability sinks (optional, not owned). Repair
+     *  entries/completions become host_enter_repair / host_repaired
+     *  trace events; cap deferrals feed repair.cap_deferrals. */
+    void attachObservability(wsva::MetricsRegistry *metrics,
+                             wsva::TraceLog *trace)
+    {
+        metrics_ = metrics;
+        trace_ = trace;
+    }
+
     /**
      * Try to send a host to repair at time @p now. Returns false if
      * the cap is reached (the host stays in production, degraded).
@@ -65,6 +80,8 @@ class RepairQueue
     std::map<int, double> repairing_; //!< host -> completion time.
     uint64_t total_repairs_ = 0;
     uint64_t cap_deferrals_ = 0;
+    wsva::MetricsRegistry *metrics_ = nullptr;
+    wsva::TraceLog *trace_ = nullptr;
 };
 
 /**
@@ -95,6 +112,12 @@ class BlastRadiusTracker
 
     /** VCU most implicated in detected corruption (-1 if none). */
     int mostSuspectVcu() const;
+
+    /** Largest affinity spread: max distinct VCUs on any one video. */
+    size_t maxVcusPerVideo() const;
+
+    /** Export blast-radius gauges (blast.*) into @p metrics. */
+    void exportTo(wsva::MetricsRegistry &metrics) const;
 
   private:
     std::map<uint64_t, std::set<int>> video_vcus_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace wsva::cluster {
 
@@ -10,6 +11,30 @@ ResourceVector
 Scheduler::reservationFor(const ResourceVector &need) const
 {
     return need;
+}
+
+void
+Scheduler::attachMetrics(wsva::MetricsRegistry *metrics)
+{
+    if (metrics == nullptr) {
+        placed_counter_ = wsva::CounterHandle();
+        rejected_counter_ = wsva::CounterHandle();
+        return;
+    }
+    placed_counter_ = metrics->counterHandle("sched.placed");
+    rejected_counter_ = metrics->counterHandle("sched.rejected");
+}
+
+void
+Scheduler::recordPick(bool placed)
+{
+    if (placed) {
+        ++stats_.placed;
+        placed_counter_.inc();
+    } else {
+        ++stats_.rejected;
+        rejected_counter_.inc();
+    }
 }
 
 BinPackScheduler::BinPackScheduler(std::vector<Worker *> workers)
@@ -30,11 +55,11 @@ BinPackScheduler::pick(const ResourceVector &need)
     // candidates).
     for (Worker *w : workers_) {
         if (w->canFit(need)) {
-            ++stats_.placed;
+            recordPick(true);
             return w;
         }
     }
-    ++stats_.rejected;
+    recordPick(false);
     return nullptr;
 }
 
@@ -69,11 +94,11 @@ SlotScheduler::pick(const ResourceVector &need)
     const ResourceVector reservation = reservationFor(need);
     for (Worker *w : workers_) {
         if (w->canFit(reservation)) {
-            ++stats_.placed;
+            recordPick(true);
             return w;
         }
     }
-    ++stats_.rejected;
+    recordPick(false);
     return nullptr;
 }
 

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/worker.h"
+#include "common/metrics.h"
 
 namespace wsva::cluster {
 
@@ -49,8 +50,20 @@ class Scheduler
 
     const SchedulerStats &stats() const { return stats_; }
 
+    /** Mirror placement decisions into @p metrics (not owned; may be
+     *  null). Counters: sched.placed / sched.rejected. */
+    void attachMetrics(wsva::MetricsRegistry *metrics);
+
   protected:
+    /** Count one placement (success or rejection) in stats_ and the
+     *  attached registry. */
+    void recordPick(bool placed);
+
     SchedulerStats stats_;
+    // pick() runs for every backlog entry every tick; the counters
+    // are pre-resolved handles so the hot path never locks.
+    wsva::CounterHandle placed_counter_;
+    wsva::CounterHandle rejected_counter_;
 };
 
 /**

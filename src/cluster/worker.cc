@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 
 namespace wsva::cluster {
 
@@ -41,7 +42,11 @@ Worker::assign(const TranscodeStep &step, const ResourceVector &need,
         factor = vcu_->speed_factor;
     available_.subtract(need);
     WSVA_ASSERT(available_.nonNegative(), "negative availability");
-    running_.push_back({step, need, now + service_seconds * factor});
+    running_.push_back({step, need, now, now + service_seconds * factor});
+    if (trace_ != nullptr) {
+        trace_->record(TraceEventType::StepScheduled, now, -1, id_,
+                       step.id, step.video_id);
+    }
 }
 
 std::vector<StepOutcome>
@@ -53,13 +58,28 @@ Worker::collectFinished(double now)
     for (auto it = running_.begin(); it != running_.end();) {
         const bool finished = it->finish_time <= now;
         if (finished || dead) {
+            // A step whose finish time precedes the fault completed
+            // before the device died: its output exists and must not
+            // be failed/retried (that skewed steps_retried and
+            // output_pixels). Only work truly cut short fails.
+            const bool failed =
+                dead && it->finish_time >= vcu_->fault_time;
             StepOutcome outcome;
             outcome.step = it->step;
-            outcome.ok = !dead;
-            outcome.corrupt = corrupting && !dead;
-            outcome.finish_time = dead ? now : it->finish_time;
+            outcome.ok = !failed;
+            outcome.corrupt = corrupting && !failed;
+            outcome.finish_time = failed ? now : it->finish_time;
             out.push_back(outcome);
             available_.add(it->need);
+            if (metrics_ != nullptr && !failed) {
+                // Static name: one completion per step makes this a
+                // hot path; don't rebuild the string each time.
+                static const std::string kServiceSeconds =
+                    "worker.service_seconds";
+                metrics_->observe(kServiceSeconds,
+                                  outcome.finish_time - it->start_time,
+                                  0.0, 600.0, 60);
+            }
             it = running_.erase(it);
         } else {
             ++it;

@@ -15,10 +15,16 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cluster/resources.h"
 #include "cluster/work.h"
+
+namespace wsva {
+class MetricsRegistry;
+class TraceLog;
+} // namespace wsva
 
 namespace wsva::cluster {
 
@@ -35,6 +41,21 @@ struct VcuHealth
     bool silent_fault = false;  //!< Produces corrupt output, fast.
     /** Service-time multiplier; silent faults often run "fast". */
     double speed_factor = 1.0;
+    /**
+     * Sim time the hard fault hit. Steps whose finish time precedes
+     * it completed before the device died and must not be failed or
+     * retried. Defaults to -infinity ("faulted since forever") so a
+     * caller that sets `disabled` without a timestamp conservatively
+     * fails everything in flight.
+     */
+    double fault_time = -std::numeric_limits<double>::infinity();
+
+    /** Mark the VCU hard-faulted at @p now. */
+    void markFaulted(double now)
+    {
+        disabled = true;
+        fault_time = now;
+    }
 };
 
 /** Outcome of one step execution. */
@@ -62,6 +83,18 @@ class Worker
     const VcuHealth *vcu() const { return vcu_; }
 
     /**
+     * Attach observability sinks (both optional, not owned; must
+     * outlive the worker). Assignments emit step-scheduled trace
+     * events; completions feed the per-step service-time histogram.
+     */
+    void attachObservability(wsva::MetricsRegistry *metrics,
+                             wsva::TraceLog *trace)
+    {
+        metrics_ = metrics;
+        trace_ = trace;
+    }
+
+    /**
      * Worker startup screening: functional reset + golden transcodes
      * (Section 4.4). A worker must refuse to start on a VCU with a
      * persistent fault. @return true if the worker may serve.
@@ -82,8 +115,11 @@ class Worker
 
     /**
      * Collect steps finishing at or before @p now, releasing their
-     * resources. Steps on a disabled VCU fail (ok = false); steps on
-     * a silently faulty VCU complete corrupt.
+     * resources. On a disabled VCU only the steps whose finish time
+     * is at or after the recorded fault time fail (ok = false) —
+     * work that finished before the device died already produced its
+     * output and must not be retried. Steps on a silently faulty VCU
+     * complete corrupt.
      */
     std::vector<StepOutcome> collectFinished(double now);
 
@@ -122,6 +158,7 @@ class Worker
     {
         TranscodeStep step;
         ResourceVector need;
+        double start_time;
         double finish_time;
     };
 
@@ -133,6 +170,8 @@ class Worker
     VcuHealth *vcu_ = nullptr;
     bool needs_screen_ = false;
     bool refused_ = false;
+    wsva::MetricsRegistry *metrics_ = nullptr;
+    wsva::TraceLog *trace_ = nullptr;
 };
 
 /** Capacity vector of a standard VCU worker (one VCU). */

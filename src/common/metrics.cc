@@ -1,0 +1,351 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva {
+
+namespace {
+
+/** Append a JSON string key (names here never need escaping beyond
+ *  quotes/backslashes, but handle them for safety). */
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+}
+
+} // namespace
+
+void
+MetricsRegistry::inc(const std::string &name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_[name].fetch_add(delta, std::memory_order_relaxed);
+}
+
+CounterHandle
+MetricsRegistry::counterHandle(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return CounterHandle(&counters_[name], &enabled_);
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    gauges_[name] = value;
+}
+
+void
+MetricsRegistry::observe(const std::string &name, double value, double lo,
+                         double hi, size_t bins)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+        it = histograms_.emplace(name, Histogram(lo, hi, bins)).first;
+    }
+    it->second.add(value);
+}
+
+void
+MetricsRegistry::sample(const std::string &name, double t, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Series &s = series_[name];
+    if (s.countdown > 0) {
+        --s.countdown;
+        return;
+    }
+    s.countdown = s.stride - 1;
+    s.points.emplace_back(t, value);
+    if (s.points.size() >= kMaxSeriesPoints) {
+        // Halve the history and double the stride: bounded memory,
+        // coarse-but-complete coverage of the whole run.
+        std::vector<TimeSample> kept;
+        kept.reserve(s.points.size() / 2 + 1);
+        for (size_t i = 0; i < s.points.size(); i += 2)
+            kept.push_back(s.points[i]);
+        s.points = std::move(kept);
+        s.stride *= 2;
+    }
+}
+
+uint64_t
+MetricsRegistry::counter(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = counters_.find(name);
+    return it == counters_.end()
+               ? 0
+               : it->second.load(std::memory_order_relaxed);
+}
+
+double
+MetricsRegistry::gauge(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+uint64_t
+MetricsRegistry::histogramCount(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0 : it->second.count();
+}
+
+double
+MetricsRegistry::histogramQuantile(const std::string &name, double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = histograms_.find(name);
+    return it == histograms_.end() ? 0.0 : it->second.quantile(q);
+}
+
+std::vector<TimeSample>
+MetricsRegistry::seriesSnapshot(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = series_.find(name);
+    return it == series_.end() ? std::vector<TimeSample>{}
+                               : it->second.points;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Zero counters in place: outstanding CounterHandles keep
+    // pointing at live cells.
+    for (auto &[name, value] : counters_)
+        value.store(0, std::memory_order_relaxed);
+    gauges_.clear();
+    histograms_.clear();
+    series_.clear();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, value] : counters_) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += strformat(": %llu",
+                         static_cast<unsigned long long>(
+                             value.load(std::memory_order_relaxed)));
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &[name, value] : gauges_) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += strformat(": %.6g", value);
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += strformat(
+            ": {\"count\": %llu, \"underflow\": %llu, "
+            "\"overflow\": %llu, \"p50\": %.6g, \"p90\": %.6g, "
+            "\"p99\": %.6g, \"bins\": [",
+            static_cast<unsigned long long>(h.count()),
+            static_cast<unsigned long long>(h.underflow()),
+            static_cast<unsigned long long>(h.overflow()),
+            h.quantile(0.5), h.quantile(0.9), h.quantile(0.99));
+        for (size_t i = 0; i < h.bins(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += strformat(
+                "%llu", static_cast<unsigned long long>(h.binCount(i)));
+        }
+        out += "]}";
+    }
+    out += "\n  },\n  \"series\": {";
+    first = true;
+    for (const auto &[name, s] : series_) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonString(out, name);
+        out += strformat(": {\"stride\": %llu, \"points\": [",
+                         static_cast<unsigned long long>(s.stride));
+        for (size_t i = 0; i < s.points.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += strformat("[%.6g, %.6g]", s.points[i].first,
+                             s.points[i].second);
+        }
+        out += "]}";
+    }
+    out += "\n  }\n}";
+    return out;
+}
+
+const char *
+traceEventTypeName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::FaultInjected: return "fault_injected";
+      case TraceEventType::SilentFaultInjected:
+        return "silent_fault_injected";
+      case TraceEventType::HostEnterRepair: return "host_enter_repair";
+      case TraceEventType::HostRepaired: return "host_repaired";
+      case TraceEventType::StepScheduled: return "step_scheduled";
+      case TraceEventType::StepCompleted: return "step_completed";
+      case TraceEventType::StepFailed: return "step_failed";
+      case TraceEventType::StepRetried: return "step_retried";
+      case TraceEventType::StepCorrupt: return "step_corrupt";
+      case TraceEventType::WorkerQuarantined:
+        return "worker_quarantined";
+    }
+    return "unknown";
+}
+
+TraceLog::TraceLog(size_t capacity) : capacity_(capacity)
+{
+    WSVA_ASSERT(capacity > 0, "trace log needs a positive capacity");
+}
+
+void
+TraceLog::record(const TraceEvent &event)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<SpinLock> lock(mutex_);
+    ++recorded_;
+    ++counts_[static_cast<size_t>(event.type)];
+    if (events_.size() < capacity_) {
+        events_.push_back(event);
+    } else {
+        events_[next_] = event;
+        next_ = (next_ + 1) % capacity_;
+        ++dropped_;
+    }
+}
+
+void
+TraceLog::record(TraceEventType type, double time, int host, int worker,
+                 uint64_t step_id, uint64_t video_id)
+{
+    record(TraceEvent{type, time, host, worker, step_id, video_id});
+}
+
+size_t
+TraceLog::size() const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    return events_.size();
+}
+
+uint64_t
+TraceLog::recorded() const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    return recorded_;
+}
+
+uint64_t
+TraceLog::dropped() const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    return dropped_;
+}
+
+uint64_t
+TraceLog::countOf(TraceEventType type) const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    return counts_[static_cast<size_t>(type)];
+}
+
+std::vector<TraceEvent>
+TraceLog::snapshot(size_t max_events) const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    const size_t n = std::min(max_events, events_.size());
+    std::vector<TraceEvent> out;
+    if (n == 0)
+        return out;
+    out.reserve(n);
+    // Oldest-first order: next_ is the oldest slot once the ring is
+    // full (and 0 before that, when next_ is still 0).
+    const size_t start =
+        (next_ + events_.size() - n) % events_.size();
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(events_[(start + i) % events_.size()]);
+    return out;
+}
+
+void
+TraceLog::clear()
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    events_.clear();
+    next_ = 0;
+    recorded_ = 0;
+    dropped_ = 0;
+    counts_.fill(0);
+}
+
+std::string
+TraceLog::toJson(size_t max_events) const
+{
+    std::lock_guard<SpinLock> lock(mutex_);
+    std::string out = strformat(
+        "{\n  \"recorded\": %llu,\n  \"dropped\": %llu,\n"
+        "  \"counts\": {",
+        static_cast<unsigned long long>(recorded_),
+        static_cast<unsigned long long>(dropped_));
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        out += i == 0 ? "\n    " : ",\n    ";
+        appendJsonString(
+            out, traceEventTypeName(static_cast<TraceEventType>(i)));
+        out += strformat(": %llu",
+                         static_cast<unsigned long long>(counts_[i]));
+    }
+    out += "\n  },\n  \"events\": [";
+    const size_t n = std::min(max_events, events_.size());
+    const size_t start =
+        n == 0 ? 0 : (next_ + events_.size() - n) % events_.size();
+    for (size_t i = 0; i < n; ++i) {
+        const TraceEvent &e = events_[(start + i) % events_.size()];
+        out += i == 0 ? "\n    " : ",\n    ";
+        out += strformat(
+            "{\"t\": %.6g, \"type\": \"%s\", \"host\": %d, "
+            "\"worker\": %d, \"step\": %llu, \"video\": %llu}",
+            e.time, traceEventTypeName(e.type), e.host, e.worker,
+            static_cast<unsigned long long>(e.step_id),
+            static_cast<unsigned long long>(e.video_id));
+    }
+    out += "\n  ]\n}";
+    return out;
+}
+
+} // namespace wsva

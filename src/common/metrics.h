@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Observability subsystem: a registry of named metrics (counters,
+ * gauges, histograms, sim-time series) plus a structured trace log of
+ * typed simulation events.
+ *
+ * The cluster simulator's failure accounting (utilization, fault and
+ * repair counts, corruption blast radius — the quantities behind the
+ * paper's Section 4.4 deployment story) used to be computed ad hoc
+ * inline, which is how several counters drifted from reality. Both
+ * classes here are cheap enough to stay enabled in normal runs, are
+ * thread-safe (the transcode pipeline records encode timings from
+ * pool workers), and export JSON so benches and tests can assert on
+ * the numbers rather than eyeball them. A disabled registry/log turns
+ * every record call into an atomic load and an early return, which is
+ * what the metrics-overhead bench measures against.
+ */
+
+#ifndef WSVA_COMMON_METRICS_H
+#define WSVA_COMMON_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace wsva {
+
+/** One (sim-time, value) point of a sampled series. */
+using TimeSample = std::pair<double, double>;
+
+/**
+ * Minimal spinlock for hot, uncontended, short critical sections
+ * (the trace-log record path). Satisfies BasicLockable.
+ */
+class SpinLock
+{
+  public:
+    void lock()
+    {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+        }
+    }
+    void unlock() { flag_.clear(std::memory_order_release); }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/**
+ * Pre-resolved handle to one registry counter for hot paths: the name
+ * lookup (and its string construction) happens once, at
+ * MetricsRegistry::counterHandle(); each inc() after that is an
+ * enabled check plus a relaxed atomic add — no lock, no allocation.
+ * Handles stay valid for the registry's lifetime (reset() zeroes the
+ * value behind a handle rather than discarding it). A
+ * default-constructed handle is a no-op.
+ */
+class CounterHandle
+{
+  public:
+    CounterHandle() = default;
+
+    void inc(uint64_t delta = 1) const
+    {
+        if (cell_ != nullptr &&
+            enabled_->load(std::memory_order_relaxed))
+            cell_->fetch_add(delta, std::memory_order_relaxed);
+    }
+
+  private:
+    friend class MetricsRegistry;
+    CounterHandle(std::atomic<uint64_t> *cell,
+                  const std::atomic<bool> *enabled)
+        : cell_(cell), enabled_(enabled)
+    {
+    }
+
+    std::atomic<uint64_t> *cell_ = nullptr;
+    const std::atomic<bool> *enabled_ = nullptr;
+};
+
+/**
+ * Named metrics: monotonic counters, last-value gauges, histograms,
+ * and time-series samplers keyed by simulation time. All operations
+ * are guarded by one mutex; record paths on a disabled registry skip
+ * the lock entirely.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Points kept per series before decimation halves them. */
+    static constexpr size_t kMaxSeriesPoints = 1024;
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Increment counter @p name by @p delta. */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /**
+     * Lock-free handle to counter @p name (created if absent). The
+     * handle works regardless of the enabled state at resolution
+     * time; each inc() re-checks the live flag.
+     */
+    CounterHandle counterHandle(const std::string &name);
+
+    /** Set gauge @p name to @p value. */
+    void setGauge(const std::string &name, double value);
+
+    /**
+     * Record @p value into histogram @p name, creating it with the
+     * given range on first use (later calls ignore the range).
+     */
+    void observe(const std::string &name, double value, double lo = 0.0,
+                 double hi = 1e9, size_t bins = 64);
+
+    /**
+     * Append a (sim-time, value) point to series @p name. Series are
+     * bounded: past kMaxSeriesPoints every other point is dropped and
+     * the sampling stride doubles, so long runs keep a coarse full
+     * history instead of an unbounded tail.
+     */
+    void sample(const std::string &name, double t, double value);
+
+    uint64_t counter(const std::string &name) const;
+    double gauge(const std::string &name) const;
+
+    /** Sample count of histogram @p name (0 when absent). */
+    uint64_t histogramCount(const std::string &name) const;
+
+    /** Quantile of histogram @p name (0 when absent). */
+    double histogramQuantile(const std::string &name, double q) const;
+
+    /** Copy of the points currently retained for series @p name. */
+    std::vector<TimeSample> seriesSnapshot(const std::string &name) const;
+
+    /** Drop all metrics (the enabled flag is left as-is). Counters
+     *  with outstanding handles are zeroed in place, not removed. */
+    void reset();
+
+    /**
+     * JSON object with "counters", "gauges", "histograms" (bins plus
+     * p50/p90/p99), and "series" (stride + retained points).
+     */
+    std::string toJson() const;
+
+  private:
+    struct Series
+    {
+        uint64_t stride = 1;    //!< Keep one of every stride samples.
+        uint64_t countdown = 0; //!< Raw samples until the next keep.
+        std::vector<TimeSample> points;
+    };
+
+    std::atomic<bool> enabled_{true};
+    mutable std::mutex mutex_;
+    // node-based map: counter cells are address-stable for handles.
+    std::map<std::string, std::atomic<uint64_t>> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+    std::map<std::string, Series> series_;
+};
+
+/** Event types recorded by the cluster simulation. */
+enum class TraceEventType : int {
+    FaultInjected = 0,   //!< A VCU hard fault disabled the device.
+    SilentFaultInjected, //!< A VCU began corrupting output (fast).
+    HostEnterRepair,     //!< Host crossed the fault threshold.
+    HostRepaired,        //!< Repair completed; host back in service.
+    StepScheduled,       //!< Step assigned to a worker.
+    StepCompleted,       //!< Step finished with good output.
+    StepFailed,          //!< Step failed on faulted hardware.
+    StepRetried,         //!< Step re-queued after failure/abort.
+    StepCorrupt,         //!< Step produced corrupt output.
+    WorkerQuarantined,   //!< Worker refused its VCU after screening.
+};
+
+/** Number of distinct TraceEventType values. */
+inline constexpr size_t kTraceEventTypeCount = 10;
+
+/** Stable snake_case name of an event type (for JSON). */
+const char *traceEventTypeName(TraceEventType type);
+
+/** One structured trace record. Unused id fields stay at -1/0. */
+struct TraceEvent
+{
+    TraceEventType type = TraceEventType::StepScheduled;
+    double time = 0.0;     //!< Simulation time, seconds.
+    int host = -1;
+    int worker = -1;       //!< Global worker/VCU id.
+    uint64_t step_id = 0;
+    uint64_t video_id = 0;
+};
+
+/**
+ * Bounded structured event log. Keeps the most recent @p capacity
+ * events (older ones are dropped and counted), but per-type totals
+ * cover the whole run.
+ */
+class TraceLog
+{
+  public:
+    explicit TraceLog(size_t capacity = 1 << 16);
+
+    void setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+    bool enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    void record(const TraceEvent &event);
+    void record(TraceEventType type, double time, int host = -1,
+                int worker = -1, uint64_t step_id = 0,
+                uint64_t video_id = 0);
+
+    /** Events currently retained. */
+    size_t size() const;
+
+    /** Total events ever recorded (including dropped). */
+    uint64_t recorded() const;
+
+    /** Events evicted from the buffer. */
+    uint64_t dropped() const;
+
+    /** Lifetime count of one event type (survives eviction). */
+    uint64_t countOf(TraceEventType type) const;
+
+    /** The last @p max_events retained events, oldest first. */
+    std::vector<TraceEvent> snapshot(size_t max_events = SIZE_MAX) const;
+
+    void clear();
+
+    /**
+     * JSON object with lifetime per-type "counts" and the last
+     * @p max_events retained "events".
+     */
+    std::string toJson(size_t max_events = 256) const;
+
+  private:
+    std::atomic<bool> enabled_{true};
+    mutable SpinLock mutex_; //!< record() runs once per step event.
+    size_t capacity_;
+    // Flat ring: grows by push_back until capacity, then overwrites
+    // in place — the steady-state record path never allocates.
+    std::vector<TraceEvent> events_;
+    size_t next_ = 0; //!< Write slot once the ring is full.
+    uint64_t recorded_ = 0;
+    uint64_t dropped_ = 0;
+    std::array<uint64_t, kTraceEventTypeCount> counts_{};
+};
+
+} // namespace wsva
+
+#endif // WSVA_COMMON_METRICS_H

@@ -88,14 +88,22 @@ Histogram::quantile(double q) const
 {
     if (count_ == 0)
         return 0.0;
-    auto target = static_cast<uint64_t>(
-        q * static_cast<double>(count_));
+    q = std::clamp(q, 0.0, 1.0);
+    // Rank of the quantile sample, in [1, count_]: the smallest rank
+    // whose cumulative fraction reaches q. ceil() keeps q=1 at the
+    // last sample instead of falling off the end (which used to
+    // report hi_ even with every sample in one interior bin), and
+    // the >= comparisons below keep a quantile that lands exactly on
+    // the underflow boundary attributed to the underflow bin.
+    auto rank = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count_)));
+    rank = std::clamp<uint64_t>(rank, 1, count_);
     uint64_t seen = underflow_;
-    if (seen > target)
+    if (seen >= rank)
         return lo_;
     for (size_t i = 0; i < counts_.size(); ++i) {
         seen += counts_[i];
-        if (seen > target)
+        if (seen >= rank)
             return lo_ + (static_cast<double>(i) + 0.5) * width_;
     }
     return hi_;

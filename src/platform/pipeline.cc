@@ -1,12 +1,14 @@
 #include "platform/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <memory>
 #include <mutex>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "video/codec/decoder.h"
 #include "video/codec/rate_control.h"
@@ -59,6 +61,16 @@ OutputVariant::bitrateBps() const
 }
 
 namespace {
+
+/** Monotonic wall-clock seconds for encode-timing histograms. */
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
 
 /** Scale one source chunk to a rung and encode it. */
 EncodedChunk
@@ -158,13 +170,26 @@ transcodeMot(const std::vector<Frame> &source,
         }
     };
 
+    if (cfg.metrics != nullptr) {
+        cfg.metrics->inc("pipeline.transcodes");
+        cfg.metrics->inc("pipeline.chunks", chunks.size());
+        cfg.metrics->inc("pipeline.rungs", outputs.size());
+        cfg.metrics->inc("pipeline.encode_jobs", jobs);
+    }
+
     // One analysis pass over the source per chunk, shared by every
     // rung of the ladder (compute stats once, then fan out).
     std::vector<FirstPassStats> chunk_stats;
     if (cfg.encoder.rc_mode != RcMode::ConstQp) {
         chunk_stats.resize(chunks.size());
         runFor(chunks.size(), [&](size_t i) {
+            const double t0 = wallSeconds();
             chunk_stats[i] = runFirstPass(chunks[i]);
+            if (cfg.metrics != nullptr) {
+                cfg.metrics->observe("pipeline.first_pass_ms",
+                                     (wallSeconds() - t0) * 1e3, 0.0,
+                                     10e3, 100);
+            }
         });
     }
 
@@ -183,6 +208,15 @@ transcodeMot(const std::vector<Frame> &source,
         result.variants[r].chunks.resize(chunks.size());
     }
 
+    // Rung histogram names are fixed up front so the hot job lambda
+    // never formats strings.
+    std::vector<std::string> rung_metric;
+    if (cfg.metrics != nullptr) {
+        for (size_t r = 0; r < outputs.size(); ++r)
+            rung_metric.push_back(
+                wsva::strformat("pipeline.rung%zu.encode_ms", r));
+    }
+
     runFor(jobs, [&](size_t j) {
         const size_t r = j / chunks.size();
         const size_t i = j % chunks.size();
@@ -190,8 +224,15 @@ transcodeMot(const std::vector<Frame> &source,
         const double rel =
             static_cast<double>(res.width) * res.height / top_pixels;
         const double scale = std::pow(rel, cfg.ladder_bitrate_exponent);
+        const double t0 = wallSeconds();
         result.variants[r].chunks[i] = encodeChunkJob(
             chunks[i], res, codec, cfg, chunk_stats, i, scale);
+        if (cfg.metrics != nullptr) {
+            const double ms = (wallSeconds() - t0) * 1e3;
+            cfg.metrics->observe("pipeline.chunk_encode_ms", ms, 0.0,
+                                 10e3, 100);
+            cfg.metrics->observe(rung_metric[r], ms, 0.0, 10e3, 100);
+        }
     });
 
     // Integrity verification (Section 4.4): every variant must decode

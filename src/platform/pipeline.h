@@ -17,6 +17,7 @@
 #include "video/scaler.h"
 
 namespace wsva {
+class MetricsRegistry;
 class ThreadPool;
 }
 
@@ -88,6 +89,16 @@ struct PipelineConfig
      * call.
      */
     wsva::ThreadPool *pool = nullptr;
+
+    /**
+     * Optional metrics sink (not owned; must outlive the call). When
+     * set, transcodes record per-chunk encode wall time into the
+     * "pipeline.chunk_encode_ms" histogram, per-rung histograms
+     * "pipeline.rung<N>.encode_ms", first-pass analysis timings, and
+     * job/chunk/rung counters. The registry is thread-safe, so the
+     * pool fan-out records concurrently.
+     */
+    wsva::MetricsRegistry *metrics = nullptr;
 };
 
 /**

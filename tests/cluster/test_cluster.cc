@@ -236,6 +236,68 @@ TEST(ClusterSim, BinPackingBeatsSlotScheduling)
     EXPECT_GT(packed.output_pixels, slots.output_pixels * 1.3);
 }
 
+TEST(ClusterSim, HorizonReportsInFlightWork)
+{
+    // Heavy steps against a short horizon: whatever is still on a
+    // worker at the end must show up in steps_in_flight rather than
+    // silently disappearing from the run's accounting.
+    ClusterSim sim(smallCluster());
+    const auto m = sim.run(6.0, 1.0, steadyArrivals(4, {3840, 2160}));
+    EXPECT_GT(m.steps_in_flight, 0u);
+    EXPECT_EQ(m.steps_submitted, m.steps_completed + m.steps_in_flight +
+                                     m.backlog_remaining);
+    EXPECT_EQ(sim.inFlightSteps(), m.steps_in_flight);
+}
+
+TEST(ClusterSim, MetricsRegistryMirrorsRunCounters)
+{
+    ClusterSim sim(smallCluster());
+    for (uint64_t i = 0; i < 10; ++i)
+        sim.submit(makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+    const auto m = sim.run(60.0, 1.0);
+    const auto &reg = sim.metricsRegistry();
+    EXPECT_EQ(reg.counter("cluster.steps_completed"), m.steps_completed);
+    EXPECT_EQ(reg.counter("cluster.steps_submitted"), 10u);
+    EXPECT_DOUBLE_EQ(reg.gauge("cluster.backlog_remaining"), 0.0);
+    // Utilization time-series were sampled each tick.
+    EXPECT_GT(reg.seriesSnapshot("util.encoder").size(), 10u);
+    EXPECT_GT(reg.seriesSnapshot("backlog").size(), 10u);
+}
+
+TEST(ClusterSim, TraceRecordsStepLifecycle)
+{
+    ClusterSim sim(smallCluster());
+    for (uint64_t i = 0; i < 10; ++i)
+        sim.submit(makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+    const auto m = sim.run(60.0, 1.0);
+    const auto &trace = sim.traceLog();
+    EXPECT_EQ(trace.countOf(TraceEventType::StepScheduled), 10u);
+    EXPECT_EQ(trace.countOf(TraceEventType::StepCompleted),
+              m.steps_completed);
+    // Events carry sim timestamps within the run window.
+    for (const auto &ev : trace.snapshot()) {
+        EXPECT_GE(ev.time, 0.0);
+        EXPECT_LE(ev.time, 60.0);
+    }
+}
+
+TEST(ClusterSim, ExportJsonHasAllSections)
+{
+    ClusterConfig cfg = smallCluster();
+    cfg.vcu_hard_fault_per_hour = 30.0;
+    cfg.failure.host_fault_threshold = 2;
+    cfg.failure.repair_seconds = 60.0;
+    ClusterSim sim(cfg);
+    sim.run(600.0, 1.0, steadyArrivals(4));
+    const std::string json = sim.exportJson();
+    EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace\""), std::string::npos);
+    EXPECT_NE(json.find("\"conservation\""), std::string::npos);
+    EXPECT_NE(json.find("\"holds\": true"), std::string::npos);
+    EXPECT_NE(json.find("cluster.steps_completed"), std::string::npos);
+    EXPECT_NE(json.find("fault_injected"), std::string::npos);
+}
+
 TEST(ClusterSim, BlastRadiusRecordsChunkPlacement)
 {
     ClusterSim sim(smallCluster());

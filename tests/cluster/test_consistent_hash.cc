@@ -91,6 +91,39 @@ TEST(ConsistentHash, ReAddRestoresOwnership)
         ASSERT_EQ(ring.affinitySet(key, 1)[0], before[key]);
 }
 
+TEST(ConsistentHash, DuplicateAddDoesNotInflateWorkerCount)
+{
+    // addWorker of an id already on the ring used to bump the worker
+    // count without adding distinct points, so affinitySet(key, n)
+    // with n > the real worker count could never collect enough
+    // distinct ids and spun forever.
+    ConsistentHashRing ring(ids(3));
+    ring.addWorker(1);
+    ring.addWorker(1);
+    EXPECT_EQ(ring.workerCount(), 3u);
+    const auto set = ring.affinitySet(42, 10);
+    EXPECT_EQ(set.size(), 3u);
+    std::set<int> unique(set.begin(), set.end());
+    EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(ConsistentHash, DuplicateIdsInConstructorAreDeduped)
+{
+    ConsistentHashRing ring({0, 1, 1, 2, 2, 2});
+    EXPECT_EQ(ring.workerCount(), 3u);
+    EXPECT_EQ(ring.affinitySet(7, 10).size(), 3u);
+}
+
+TEST(ConsistentHash, RepeatedRemoveIsIdempotent)
+{
+    ConsistentHashRing ring(ids(3));
+    ring.removeWorker(1);
+    ring.removeWorker(1);
+    ring.removeWorker(99); // Never present.
+    EXPECT_EQ(ring.workerCount(), 2u);
+    EXPECT_EQ(ring.affinitySet(7, 5).size(), 2u);
+}
+
 TEST(ConsistentHash, ClusterBlastRadiusShrinks)
 {
     // The paper's suggested enhancement: with affinity placement a

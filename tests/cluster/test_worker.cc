@@ -75,6 +75,46 @@ TEST(Worker, DisabledVcuFailsInFlightWork)
     EXPECT_FALSE(w.canFit(smallNeed()));
 }
 
+TEST(Worker, FaultDoesNotFailWorkFinishedBeforeIt)
+{
+    // Step 1 finishes at t=10; step 2 would finish at t=30. The VCU
+    // hard-faults at t=20. Only work still running at the fault may
+    // fail — step 1's output already exists and used to be retried
+    // anyway, double-counting completions.
+    VcuHealth health;
+    Worker w(0, WorkerType::Vcu, vcuWorkerCapacity());
+    w.bindVcu(&health);
+    w.assign(smallStep(1), smallNeed(), 0.0, 10.0);
+    w.assign(smallStep(2), smallNeed(), 0.0, 30.0);
+    health.markFaulted(20.0);
+
+    auto done = w.collectFinished(20.0);
+    ASSERT_EQ(done.size(), 2u);
+    const auto &first =
+        done[0].step.id == 1 ? done[0] : done[1];
+    const auto &second =
+        done[0].step.id == 1 ? done[1] : done[0];
+    EXPECT_TRUE(first.ok);
+    EXPECT_DOUBLE_EQ(first.finish_time, 10.0);
+    EXPECT_FALSE(second.ok);
+    EXPECT_DOUBLE_EQ(second.finish_time, 20.0);
+}
+
+TEST(Worker, UntimestampedDisableFailsConservatively)
+{
+    // Setting disabled without markFaulted leaves fault_time at
+    // -infinity: every in-flight step fails, even already-finished
+    // ones. Callers who know the fault time must use markFaulted.
+    VcuHealth health;
+    Worker w(0, WorkerType::Vcu, vcuWorkerCapacity());
+    w.bindVcu(&health);
+    w.assign(smallStep(1), smallNeed(), 0.0, 10.0);
+    health.disabled = true;
+    auto done = w.collectFinished(15.0);
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_FALSE(done[0].ok);
+}
+
 TEST(Worker, SilentFaultCorruptsAndSpeedsUp)
 {
     VcuHealth health;

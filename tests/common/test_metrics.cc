@@ -1,0 +1,194 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace wsva {
+namespace {
+
+TEST(MetricsRegistry, CountersAccumulate)
+{
+    MetricsRegistry m;
+    EXPECT_EQ(m.counter("x"), 0u);
+    m.inc("x");
+    m.inc("x", 4);
+    EXPECT_EQ(m.counter("x"), 5u);
+    EXPECT_EQ(m.counter("absent"), 0u);
+}
+
+TEST(MetricsRegistry, GaugesKeepLastValue)
+{
+    MetricsRegistry m;
+    m.setGauge("g", 1.5);
+    m.setGauge("g", -2.0);
+    EXPECT_DOUBLE_EQ(m.gauge("g"), -2.0);
+    EXPECT_DOUBLE_EQ(m.gauge("absent"), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramCreatedOnFirstObserve)
+{
+    MetricsRegistry m;
+    for (int i = 0; i < 100; ++i)
+        m.observe("h", i + 0.5, 0.0, 100.0, 100);
+    EXPECT_EQ(m.histogramCount("h"), 100u);
+    EXPECT_NEAR(m.histogramQuantile("h", 0.5), 50.0, 1.5);
+    EXPECT_EQ(m.histogramCount("absent"), 0u);
+}
+
+TEST(MetricsRegistry, SeriesRecordsPoints)
+{
+    MetricsRegistry m;
+    for (int t = 0; t < 10; ++t)
+        m.sample("s", t, 2.0 * t);
+    const auto points = m.seriesSnapshot("s");
+    ASSERT_EQ(points.size(), 10u);
+    EXPECT_DOUBLE_EQ(points[3].first, 3.0);
+    EXPECT_DOUBLE_EQ(points[3].second, 6.0);
+}
+
+TEST(MetricsRegistry, SeriesDecimatesPastCap)
+{
+    MetricsRegistry m;
+    const size_t n = MetricsRegistry::kMaxSeriesPoints * 4;
+    for (size_t t = 0; t < n; ++t)
+        m.sample("s", static_cast<double>(t), 1.0);
+    const auto points = m.seriesSnapshot("s");
+    EXPECT_LE(points.size(), MetricsRegistry::kMaxSeriesPoints);
+    EXPECT_GE(points.size(), MetricsRegistry::kMaxSeriesPoints / 4);
+    // First point survives decimation; points stay time-ordered.
+    EXPECT_DOUBLE_EQ(points.front().first, 0.0);
+    for (size_t i = 1; i < points.size(); ++i)
+        EXPECT_LT(points[i - 1].first, points[i].first);
+}
+
+TEST(MetricsRegistry, DisabledRecordsNothing)
+{
+    MetricsRegistry m;
+    m.setEnabled(false);
+    m.inc("c");
+    m.setGauge("g", 3.0);
+    m.observe("h", 1.0);
+    m.sample("s", 0.0, 1.0);
+    EXPECT_EQ(m.counter("c"), 0u);
+    EXPECT_DOUBLE_EQ(m.gauge("g"), 0.0);
+    EXPECT_EQ(m.histogramCount("h"), 0u);
+    EXPECT_TRUE(m.seriesSnapshot("s").empty());
+}
+
+TEST(MetricsRegistry, ConcurrentRecordingIsSafe)
+{
+    MetricsRegistry m;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&m] {
+            for (int i = 0; i < 1000; ++i) {
+                m.inc("c");
+                m.observe("h", i, 0.0, 1000.0, 50);
+                m.sample("s", i, i);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(m.counter("c"), 4000u);
+    EXPECT_EQ(m.histogramCount("h"), 4000u);
+}
+
+TEST(MetricsRegistry, JsonContainsAllSections)
+{
+    MetricsRegistry m;
+    m.inc("steps", 3);
+    m.setGauge("util", 0.5);
+    m.observe("lat", 10.0, 0.0, 100.0, 10);
+    m.sample("backlog", 1.0, 7.0);
+    const std::string json = m.toJson();
+    EXPECT_NE(json.find("\"steps\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"util\": 0.5"), std::string::npos);
+    EXPECT_NE(json.find("\"lat\""), std::string::npos);
+    EXPECT_NE(json.find("[1, 7]"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ResetClears)
+{
+    MetricsRegistry m;
+    m.inc("c");
+    m.reset();
+    EXPECT_EQ(m.counter("c"), 0u);
+    EXPECT_TRUE(m.enabled());
+}
+
+TEST(TraceLog, RecordsTypedEvents)
+{
+    TraceLog log;
+    log.record(TraceEventType::FaultInjected, 10.0, 1, 25);
+    log.record(TraceEventType::StepCompleted, 11.0, 1, 25, 7, 3);
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(log.countOf(TraceEventType::FaultInjected), 1u);
+    EXPECT_EQ(log.countOf(TraceEventType::StepCompleted), 1u);
+    EXPECT_EQ(log.countOf(TraceEventType::HostRepaired), 0u);
+    const auto events = log.snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[1].step_id, 7u);
+    EXPECT_EQ(events[1].video_id, 3u);
+    EXPECT_DOUBLE_EQ(events[0].time, 10.0);
+}
+
+TEST(TraceLog, BoundedCapacityDropsOldest)
+{
+    TraceLog log(4);
+    for (int i = 0; i < 10; ++i) {
+        log.record(TraceEventType::StepScheduled, i, -1, -1,
+                   static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(log.size(), 4u);
+    EXPECT_EQ(log.recorded(), 10u);
+    EXPECT_EQ(log.dropped(), 6u);
+    // Lifetime per-type counts survive eviction.
+    EXPECT_EQ(log.countOf(TraceEventType::StepScheduled), 10u);
+    const auto events = log.snapshot();
+    EXPECT_EQ(events.front().step_id, 6u);
+    EXPECT_EQ(events.back().step_id, 9u);
+}
+
+TEST(TraceLog, SnapshotTakesLastN)
+{
+    TraceLog log;
+    for (int i = 0; i < 5; ++i)
+        log.record(TraceEventType::StepRetried, i);
+    const auto last2 = log.snapshot(2);
+    ASSERT_EQ(last2.size(), 2u);
+    EXPECT_DOUBLE_EQ(last2[0].time, 3.0);
+    EXPECT_DOUBLE_EQ(last2[1].time, 4.0);
+}
+
+TEST(TraceLog, DisabledRecordsNothing)
+{
+    TraceLog log;
+    log.setEnabled(false);
+    log.record(TraceEventType::StepFailed, 1.0);
+    EXPECT_EQ(log.size(), 0u);
+    EXPECT_EQ(log.recorded(), 0u);
+}
+
+TEST(TraceLog, JsonHasCountsAndEvents)
+{
+    TraceLog log;
+    log.record(TraceEventType::WorkerQuarantined, 5.0, 0, 3);
+    const std::string json = log.toJson();
+    EXPECT_NE(json.find("\"worker_quarantined\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"type\": \"worker_quarantined\""),
+              std::string::npos);
+}
+
+TEST(TraceLog, TypeNamesAreStable)
+{
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::FaultInjected),
+                 "fault_injected");
+    EXPECT_STREQ(traceEventTypeName(TraceEventType::StepCorrupt),
+                 "step_corrupt");
+}
+
+} // namespace
+} // namespace wsva

@@ -97,6 +97,57 @@ TEST(Histogram, QuantileApproximation)
     EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
 }
 
+TEST(Histogram, QuantileBoundaries)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    // q=0 is the first sample's bin; q=1 the last sample's bin —
+    // q=1.0 used to fall off the scan and report hi_.
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.5);
+    // Out-of-range q clamps instead of producing garbage ranks.
+    EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), h.quantile(1.0));
+}
+
+TEST(Histogram, QuantileMassInOneBin)
+{
+    // All samples in one interior bin: every quantile is that bin's
+    // midpoint. q=1.0 used to report hi_ because the cumulative scan
+    // used a strict comparison.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(3.4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.5);
+}
+
+TEST(Histogram, QuantileUnderflowBoundary)
+{
+    // 5 underflow samples + 5 in the first bin. The median rank (5)
+    // is exactly the underflow count; that boundary used to be
+    // misclassified by an off-by-one and land in the first bin.
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 5; ++i)
+        h.add(-1.0);
+    for (int i = 0; i < 5; ++i)
+        h.add(0.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // lo_: still underflow.
+    EXPECT_DOUBLE_EQ(h.quantile(0.6), 0.5);  // First real bin.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.5);
+}
+
+TEST(Histogram, QuantileAllOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(5.0);
+    h.add(6.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
 TEST(HistogramDeathTest, RejectsEmptyRange)
 {
     EXPECT_DEATH(Histogram(1.0, 1.0, 4), "range");
