@@ -23,3 +23,8 @@ echo "Running bench_cluster ..." >&2
 "$build_dir/bench/bench_cluster" \
     > "$repo_root/BENCH_cluster.json"
 echo "Wrote $repo_root/BENCH_cluster.json" >&2
+
+echo "Running bench_optimizer ..." >&2
+"$build_dir/bench/bench_optimizer" \
+    > "$repo_root/BENCH_optimizer.json"
+echo "Wrote $repo_root/BENCH_optimizer.json" >&2

@@ -124,6 +124,45 @@ class Rng
         return uniformReal() < p;
     }
 
+    /**
+     * Poisson deviate with the given mean.
+     *
+     * Small means use Knuth's product method run in log space, so it
+     * cannot underflow (the naive exp(-mean) product caps counts near
+     * 745 once exp(-mean) flushes to zero) and uniform draws of
+     * exactly 0.0 are rejected rather than terminating the product
+     * early. Large means switch to a rounded normal approximation
+     * N(mean, mean) clamped at zero — the error is far below
+     * sampling noise at that size. Deterministic per seed.
+     */
+    uint64_t
+    poisson(double mean)
+    {
+        if (mean <= 0.0)
+            return 0;
+        if (mean < kPoissonNormalThreshold) {
+            uint64_t count = 0;
+            double log_p = 0.0;
+            for (;;) {
+                double u;
+                do {
+                    u = uniformReal();
+                } while (u <= 0.0);
+                log_p += std::log(u);
+                if (log_p < -mean)
+                    return count;
+                ++count;
+            }
+        }
+        const double draw = normal(mean, std::sqrt(mean));
+        if (draw <= 0.0)
+            return 0;
+        return static_cast<uint64_t>(std::llround(draw));
+    }
+
+    /** Mean at which poisson() switches to the normal approximation. */
+    static constexpr double kPoissonNormalThreshold = 64.0;
+
     /** Derive an independent child generator (for per-entity streams). */
     Rng
     fork(uint64_t salt)

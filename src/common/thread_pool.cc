@@ -16,6 +16,17 @@ ThreadPool::resolveThreads(int requested)
     return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
+std::shared_ptr<ThreadPool>
+ThreadPool::shared(int workers)
+{
+    static std::mutex mutex;
+    static std::shared_ptr<ThreadPool> pool;
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!pool || pool->workerCount() != workers)
+        pool = std::make_shared<ThreadPool>(workers);
+    return pool;
+}
+
 ThreadPool::ThreadPool(int num_threads)
 {
     const int count = resolveThreads(num_threads);

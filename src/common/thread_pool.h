@@ -81,6 +81,16 @@ class ThreadPool
      */
     static int resolveThreads(int requested);
 
+    /**
+     * Process-wide pool, created lazily and reused across calls so
+     * repeated short fan-outs (back-to-back transcodes, optimizer
+     * probes) do not pay thread creation/join per invocation.
+     * Rebuilt only when @p workers differs from the current size;
+     * the shared_ptr keeps the old pool alive for in-flight callers
+     * if a concurrent call with a different size swaps it out.
+     */
+    static std::shared_ptr<ThreadPool> shared(int workers);
+
   private:
     /** One worker's job deque with its own lock. */
     struct WorkerQueue

@@ -1,8 +1,13 @@
 #include "platform/dynamic_optimizer.h"
 
 #include <algorithm>
+#include <chrono>
+#include <functional>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "platform/rq_cache.h"
 #include "video/codec/decoder.h"
 #include "video/codec/encoder.h"
 #include "video/metrics.h"
@@ -53,6 +58,20 @@ RateQualityCurve::bestUnderRate(double max_bitrate_bps) const
                              });
 }
 
+namespace {
+
+/** Monotonic wall-clock seconds for probe-timing histograms. */
+double
+wallSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
 RateQualityCurve
 buildRateQualityCurve(const std::vector<wsva::video::Frame> &clip,
                       const DynamicOptimizerConfig &cfg)
@@ -60,11 +79,19 @@ buildRateQualityCurve(const std::vector<wsva::video::Frame> &clip,
     WSVA_ASSERT(!clip.empty(), "empty clip");
     WSVA_ASSERT(!cfg.probe_qps.empty(), "no probe quantizers");
 
-    RateQualityCurve curve;
     std::vector<int> qps = cfg.probe_qps;
     std::sort(qps.begin(), qps.end());
 
-    for (const int qp : qps) {
+    RateQualityCurve curve;
+    curve.points.resize(qps.size());
+
+    // Each probe is an independent ConstQp encode plus its PSNR
+    // decode, landing in a pre-assigned slot of the curve — every
+    // schedule yields bit-identical points, so the pool fan-out is
+    // byte-exact with the serial loop.
+    const auto probe = [&](size_t i) {
+        const double t0 = wallSeconds();
+        const int qp = qps[i];
         EncoderConfig ecfg;
         ecfg.codec = cfg.codec;
         ecfg.width = clip[0].width();
@@ -75,14 +102,60 @@ buildRateQualityCurve(const std::vector<wsva::video::Frame> &clip,
         ecfg.gop_length = static_cast<int>(clip.size());
         ecfg.hardware = cfg.hardware;
 
-        OperatingPoint point;
+        OperatingPoint &point = curve.points[i];
         point.qp = qp;
         point.chunk = encodeSequence(ecfg, clip);
         point.bitrate_bps = point.chunk.bitrateBps();
         const auto decoded = decodeChunkOrDie(point.chunk.bytes);
         point.psnr_db = wsva::video::sequencePsnr(clip, decoded.frames);
-        curve.points.push_back(std::move(point));
+        if (cfg.metrics != nullptr) {
+            cfg.metrics->observe("optimizer.probe_ms",
+                                 (wallSeconds() - t0) * 1e3, 0.0, 60e3,
+                                 100);
+        }
+    };
+
+    wsva::ThreadPool *pool = cfg.pool;
+    std::shared_ptr<wsva::ThreadPool> shared;
+    if (pool == nullptr && qps.size() > 1) {
+        const int want =
+            wsva::ThreadPool::resolveThreads(cfg.num_threads);
+        if (want > 1) {
+            shared = wsva::ThreadPool::shared(want);
+            pool = shared.get();
+        }
     }
+    if (pool != nullptr) {
+        pool->parallelFor(qps.size(), probe);
+    } else {
+        for (size_t i = 0; i < qps.size(); ++i)
+            probe(i);
+    }
+
+    if (cfg.metrics != nullptr) {
+        cfg.metrics->inc("optimizer.curves_built");
+        cfg.metrics->inc("optimizer.probes", qps.size());
+    }
+    return curve;
+}
+
+std::shared_ptr<const RateQualityCurve>
+rateQualityCurveFor(const std::vector<wsva::video::Frame> &clip,
+                    const DynamicOptimizerConfig &cfg)
+{
+    if (cfg.cache == nullptr) {
+        return std::make_shared<const RateQualityCurve>(
+            buildRateQualityCurve(clip, cfg));
+    }
+    RqCacheKey key;
+    key.clip_fingerprint = fingerprintClip(clip);
+    key.codec = cfg.codec;
+    key.probe_signature = probeSignature(cfg);
+    if (auto cached = cfg.cache->get(key))
+        return cached;
+    auto curve = std::make_shared<const RateQualityCurve>(
+        buildRateQualityCurve(clip, cfg));
+    cfg.cache->put(key, curve);
     return curve;
 }
 

@@ -17,12 +17,20 @@
 #ifndef WSVA_PLATFORM_DYNAMIC_OPTIMIZER_H
 #define WSVA_PLATFORM_DYNAMIC_OPTIMIZER_H
 
+#include <memory>
 #include <vector>
 
 #include "video/codec/codec.h"
 #include "video/frame.h"
 
+namespace wsva {
+class MetricsRegistry;
+class ThreadPool;
+}
+
 namespace wsva::platform {
+
+class RqCache;
 
 /** One probed operating point. */
 struct OperatingPoint
@@ -59,14 +67,55 @@ struct DynamicOptimizerConfig
     bool hardware = true;        //!< VCUs make the probes affordable.
     std::vector<int> probe_qps = {20, 28, 36, 44, 52};
     double fps = 30.0;
+
+    /**
+     * Worker threads for the per-QP probe fan-out: 0 = one per
+     * hardware thread, 1 = fully serial (no pool). Probes are
+     * independent ConstQp encodes landing in pre-assigned slots, so
+     * every schedule produces a bit-identical curve.
+     */
+    int num_threads = 0;
+
+    /**
+     * Optional externally owned pool for the fan-out (e.g. the one
+     * the transcode pipeline shares). When set it is used as-is and
+     * num_threads is ignored; must outlive the call.
+     */
+    wsva::ThreadPool *pool = nullptr;
+
+    /**
+     * Optional metrics sink (not owned; must outlive the call).
+     * Records optimizer.{curves_built,probes} counters and the
+     * "optimizer.probe_ms" per-probe wall-time histogram.
+     */
+    wsva::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional rate-quality cache (not owned; must outlive the
+     * call). Consulted and populated by rateQualityCurveFor();
+     * buildRateQualityCurve() always computes.
+     */
+    RqCache *cache = nullptr;
 };
 
 /**
  * Probe the clip at every configured quantizer and return its
  * rate-quality curve (each point carries the finished encode, so
- * selecting a point is free).
+ * selecting a point is free). Probe encodes and their PSNR decodes
+ * fan out onto the configured thread pool; the result is
+ * bit-identical to the serial path.
  */
 RateQualityCurve buildRateQualityCurve(
+    const std::vector<wsva::video::Frame> &clip,
+    const DynamicOptimizerConfig &cfg);
+
+/**
+ * Cache-aware entry point: returns the cached curve when cfg.cache
+ * holds one for this clip content x codec x probe set, otherwise
+ * builds it (parallel fan-out as above) and caches it. Without a
+ * cache this is just buildRateQualityCurve behind a shared_ptr.
+ */
+std::shared_ptr<const RateQualityCurve> rateQualityCurveFor(
     const std::vector<wsva::video::Frame> &clip,
     const DynamicOptimizerConfig &cfg);
 

@@ -104,24 +104,6 @@ encodeChunkJob(const std::vector<Frame> &chunk, Resolution resolution,
     return encodeSequenceWithStats(ecfg, scaled, std::move(stats));
 }
 
-/**
- * Process-wide transcode pool, created lazily and reused across
- * calls so repeated short transcodes do not pay thread creation and
- * join per invocation. Rebuilt only when the requested worker count
- * changes; the shared_ptr keeps the old pool alive for in-flight
- * callers if a concurrent call with a different size swaps it out.
- */
-std::shared_ptr<wsva::ThreadPool>
-sharedTranscodePool(int workers)
-{
-    static std::mutex mutex;
-    static std::shared_ptr<wsva::ThreadPool> pool;
-    std::lock_guard<std::mutex> lock(mutex);
-    if (!pool || pool->workerCount() != workers)
-        pool = std::make_shared<wsva::ThreadPool>(workers);
-    return pool;
-}
-
 } // namespace
 
 TranscodeResult
@@ -155,7 +137,7 @@ transcodeMot(const std::vector<Frame> &source,
         const int want_threads =
             wsva::ThreadPool::resolveThreads(cfg.num_threads);
         if (want_threads > 1 && jobs > 1) {
-            shared = sharedTranscodePool(want_threads);
+            shared = wsva::ThreadPool::shared(want_threads);
             pool = shared.get();
         }
     }

@@ -1,0 +1,249 @@
+#include "platform/rq_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace wsva::platform {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t
+fnv1a(uint64_t hash, const uint8_t *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        hash ^= data[i];
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+uint64_t
+fnv1aU64(uint64_t hash, uint64_t value)
+{
+    for (int b = 0; b < 8; ++b) {
+        hash ^= (value >> (b * 8)) & 0xffu;
+        hash *= kFnvPrime;
+    }
+    return hash;
+}
+
+/** splitmix64 finalizer: spreads key bits for shard selection. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+fingerprintClip(const std::vector<wsva::video::Frame> &clip)
+{
+    uint64_t hash = kFnvOffset;
+    hash = fnv1aU64(hash, clip.size());
+    for (const auto &frame : clip) {
+        hash = fnv1aU64(hash, static_cast<uint64_t>(frame.width()));
+        hash = fnv1aU64(hash, static_cast<uint64_t>(frame.height()));
+        for (int p = 0; p < 3; ++p) {
+            const auto &data = frame.plane(p).data();
+            hash = fnv1a(hash, data.data(), data.size());
+        }
+    }
+    return hash;
+}
+
+uint64_t
+probeSignature(const DynamicOptimizerConfig &cfg)
+{
+    std::vector<int> qps = cfg.probe_qps;
+    std::sort(qps.begin(), qps.end());
+    uint64_t hash = kFnvOffset;
+    for (const int qp : qps)
+        hash = fnv1aU64(hash, static_cast<uint64_t>(qp));
+    uint64_t fps_bits = 0;
+    static_assert(sizeof(fps_bits) == sizeof(cfg.fps));
+    __builtin_memcpy(&fps_bits, &cfg.fps, sizeof(fps_bits));
+    hash = fnv1aU64(hash, fps_bits);
+    hash = fnv1aU64(hash, cfg.hardware ? 1 : 0);
+    return hash;
+}
+
+size_t
+curveFootprintBytes(const RateQualityCurve &curve)
+{
+    size_t bytes = sizeof(RateQualityCurve);
+    for (const auto &point : curve.points) {
+        bytes += sizeof(OperatingPoint);
+        bytes += point.chunk.bytes.size();
+        bytes += point.chunk.frames.size() *
+                 sizeof(point.chunk.frames[0]);
+    }
+    return bytes;
+}
+
+size_t
+RqCache::KeyHash::operator()(const RqCacheKey &key) const
+{
+    uint64_t hash = mix64(key.clip_fingerprint);
+    hash = mix64(hash ^ key.probe_signature);
+    hash = mix64(hash ^ static_cast<uint64_t>(key.codec));
+    return static_cast<size_t>(hash);
+}
+
+RqCache::RqCache(RqCacheConfig cfg)
+    : capacity_bytes_(cfg.capacity_bytes), metrics_(cfg.metrics)
+{
+    const size_t shard_count = std::max<size_t>(1, cfg.shards);
+    shard_capacity_bytes_ =
+        std::max<size_t>(1, capacity_bytes_ / shard_count);
+    shards_.reserve(shard_count);
+    for (size_t s = 0; s < shard_count; ++s)
+        shards_.push_back(std::make_unique<Shard>());
+    if (metrics_ != nullptr) {
+        hit_counter_ = metrics_->counterHandle("rq_cache.hits");
+        miss_counter_ = metrics_->counterHandle("rq_cache.misses");
+        eviction_counter_ =
+            metrics_->counterHandle("rq_cache.evictions");
+        insertion_counter_ =
+            metrics_->counterHandle("rq_cache.insertions");
+        publishGauges();
+    }
+}
+
+RqCache::Shard &
+RqCache::shardFor(const RqCacheKey &key)
+{
+    return *shards_[KeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const RateQualityCurve>
+RqCache::get(const RqCacheKey &key)
+{
+    Shard &shard = shardFor(key);
+    std::shared_ptr<const RateQualityCurve> curve;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            curve = it->second->curve;
+        }
+    }
+    if (curve) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        hit_counter_.inc();
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        miss_counter_.inc();
+    }
+    return curve;
+}
+
+void
+RqCache::put(const RqCacheKey &key,
+             std::shared_ptr<const RateQualityCurve> curve)
+{
+    WSVA_ASSERT(curve != nullptr, "cannot cache a null curve");
+    const size_t bytes = curveFootprintBytes(*curve);
+    if (bytes > shard_capacity_bytes_)
+        return; // Would evict the whole shard for one entry.
+
+    Shard &shard = shardFor(key);
+    uint64_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            // Refresh in place (same content key, e.g. re-probe).
+            shard.bytes -= it->second->bytes;
+            it->second->curve = std::move(curve);
+            it->second->bytes = bytes;
+            shard.bytes += bytes;
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        } else {
+            shard.lru.push_front(Entry{key, std::move(curve), bytes});
+            shard.index.emplace(key, shard.lru.begin());
+            shard.bytes += bytes;
+        }
+        while (shard.bytes > shard_capacity_bytes_ &&
+               shard.lru.size() > 1) {
+            const Entry &victim = shard.lru.back();
+            shard.bytes -= victim.bytes;
+            shard.index.erase(victim.key);
+            shard.lru.pop_back();
+            ++evicted;
+        }
+    }
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    insertion_counter_.inc();
+    if (evicted > 0) {
+        evictions_.fetch_add(evicted, std::memory_order_relaxed);
+        eviction_counter_.inc(evicted);
+    }
+    publishGauges();
+}
+
+RqCacheStats
+RqCache::stats() const
+{
+    RqCacheStats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    stats.insertions = insertions_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+size_t
+RqCache::sizeBytes() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->bytes;
+    }
+    return total;
+}
+
+size_t
+RqCache::entryCount() const
+{
+    size_t total = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->lru.size();
+    }
+    return total;
+}
+
+void
+RqCache::clear()
+{
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+        shard->bytes = 0;
+    }
+    publishGauges();
+}
+
+void
+RqCache::publishGauges()
+{
+    if (metrics_ == nullptr)
+        return;
+    metrics_->setGauge("rq_cache.bytes",
+                       static_cast<double>(sizeBytes()));
+    metrics_->setGauge("rq_cache.entries",
+                       static_cast<double>(entryCount()));
+}
+
+} // namespace wsva::platform

@@ -26,8 +26,11 @@ simulatePipeline(const std::vector<StageSpec> &stages,
     if (n_items == 0)
         return result;
 
-    // finish[s][i] = cycle when stage s finishes item i.
+    // finish[s][i] / begin[s][i] = cycle when stage s finishes /
+    // starts item i.
     std::vector<std::vector<uint64_t>> finish(
+        n_stages, std::vector<uint64_t>(n_items, 0));
+    std::vector<std::vector<uint64_t>> begin(
         n_stages, std::vector<uint64_t>(n_items, 0));
 
     for (size_t i = 0; i < n_items; ++i) {
@@ -37,16 +40,20 @@ simulatePipeline(const std::vector<StageSpec> &stages,
             // Stage is serial: must finish the previous item first.
             uint64_t stage_free = i == 0 ? 0 : finish[s][i - 1];
             // Backpressure: the FIFO after stage s holds fifo_depth
-            // items; item i cannot *finish* at stage s until item
-            // (i - depth) has been consumed by stage s+1. Model it as
-            // a start constraint using the downstream finish time.
+            // items; item i cannot start at stage s until item
+            // (i - depth) has been *consumed* by stage s+1 — a slot
+            // frees when the downstream stage starts (pops) that
+            // item, not when it finishes servicing it. (begin[s+1]
+            // [i - depth] is already known: it was filled in during
+            // outer iteration i - depth < i.)
             uint64_t space_free = 0;
             const size_t depth = std::max<size_t>(1, stages[s].fifo_depth);
             if (s + 1 < n_stages && i >= depth)
-                space_free = finish[s + 1][i - depth];
+                space_free = begin[s + 1][i - depth];
             const uint64_t start =
                 std::max({ready, stage_free, space_free});
             const uint64_t service = service_cycles[s][i];
+            begin[s][i] = start;
             finish[s][i] = start + service;
 
             auto &st = result.stages[s];

@@ -12,7 +12,11 @@
  * The simulator uses the standard pipeline recurrence: an item can
  * start at a stage when (a) it has arrived from the previous stage,
  * (b) the stage has finished the previous item, and (c) there is
- * space in the FIFO toward the next stage (backpressure).
+ * space in the FIFO toward the next stage (backpressure). A FIFO
+ * slot is freed when the downstream stage *starts* (pops) an item,
+ * not when it finishes servicing it — constraining on downstream
+ * finish would overstate stalls and total cycles for deep or
+ * unbalanced pipelines.
  */
 
 #ifndef WSVA_VCU_HLSIM_H

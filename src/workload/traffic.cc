@@ -1,8 +1,10 @@
 #include "workload/traffic.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "platform/popularity.h"
 
 namespace wsva::workload {
 
@@ -15,7 +17,11 @@ using wsva::video::codec::CodecType;
 using wsva::video::outputsForInput;
 
 UploadTraffic::UploadTraffic(UploadTrafficConfig cfg)
-    : cfg_(cfg), rng_(cfg.seed)
+    : cfg_(cfg), rng_(cfg.seed),
+      // A separate stream for popularity draws: toggling
+      // optimizer_probes never perturbs the upload/codec sequence of
+      // a given seed.
+      pop_rng_(cfg.seed ^ 0x706f7075ULL, 0x6c617269ULL)
 {
 }
 
@@ -42,41 +48,45 @@ UploadTraffic::arrivals(double now, double dt)
 {
     (void)now;
     std::vector<TranscodeStep> steps;
-    // Poisson arrivals of whole videos in this window.
+    // Poisson arrivals of whole videos in this window. Rng::poisson
+    // is underflow-safe, so warehouse-scale rates (the old inline
+    // sampler silently capped every window near 745 arrivals once
+    // exp(-lambda) flushed to zero) keep their full counts.
     const double expect = cfg_.uploads_per_second * dt;
-    int uploads = 0;
-    // Knuth-style sampling, robust for small expectations.
-    double l = std::exp(-expect);
-    double p = 1.0;
-    for (;;) {
-        p *= rng_.uniformReal();
-        if (p <= l)
-            break;
-        ++uploads;
-    }
+    const uint64_t uploads = rng_.poisson(expect);
 
-    for (int v = 0; v < uploads; ++v) {
+    for (uint64_t v = 0; v < uploads; ++v) {
         const uint64_t video_id = next_video_id_++;
         const Resolution res = sampleResolution();
         const double seconds =
             std::max(5.0, rng_.exponential(1.0 / cfg_.mean_video_seconds));
-        const int chunks = std::max(1,
-            static_cast<int>(seconds * cfg_.fps) / cfg_.chunk_frames);
+        // Ceiling division: a short trailing chunk is emitted with
+        // its true frame count instead of silently dropped, so
+        // offered frames track mean_video_seconds exactly.
+        const int total_frames = static_cast<int>(std::max<long long>(
+            1, std::llround(seconds * cfg_.fps)));
+        const int chunks =
+            (total_frames + cfg_.chunk_frames - 1) / cfg_.chunk_frames;
         const bool vp9 = rng_.bernoulli(cfg_.vp9_fraction);
+        total_source_frames_ += static_cast<uint64_t>(total_frames);
+        total_video_seconds_ += seconds;
 
         for (int c = 0; c < chunks; ++c) {
+            const int frames = c + 1 < chunks
+                ? cfg_.chunk_frames
+                : total_frames - (chunks - 1) * cfg_.chunk_frames;
             auto emit = [&](CodecType codec) {
                 if (cfg_.use_mot) {
                     auto step = makeMotStep(next_step_id_++, video_id, c,
                                             res, codec);
-                    step.frames = cfg_.chunk_frames;
+                    step.frames = frames;
                     step.fps = cfg_.fps;
                     steps.push_back(step);
                 } else {
                     for (const auto &out : outputsForInput(res)) {
                         auto step = makeSotStep(next_step_id_++, video_id,
                                                 c, res, out, codec);
-                        step.frames = cfg_.chunk_frames;
+                        step.frames = frames;
                         step.fps = cfg_.fps;
                         steps.push_back(step);
                     }
@@ -85,6 +95,30 @@ UploadTraffic::arrivals(double now, double dt)
             emit(CodecType::H264);
             if (vp9)
                 emit(CodecType::VP9);
+        }
+
+        if (cfg_.optimizer_probes) {
+            const uint64_t watches =
+                wsva::platform::sampleWatchCount(pop_rng_);
+            if (wsva::platform::bucketForWatchCount(watches) ==
+                wsva::platform::PopularityBucket::Popular) {
+                ++videos_probed_;
+                // The optimizer probes the first chunk at each
+                // operating point: single-pass ConstQp encodes at
+                // batch priority (they never block the upload path).
+                const int probe_frames =
+                    std::min(total_frames, cfg_.chunk_frames);
+                for (int p = 0; p < cfg_.optimizer_probe_points; ++p) {
+                    auto step = makeSotStep(next_step_id_++, video_id, 0,
+                                            res, res, CodecType::VP9);
+                    step.frames = probe_frames;
+                    step.fps = cfg_.fps;
+                    step.two_pass = false;
+                    step.priority = wsva::cluster::Priority::Batch;
+                    steps.push_back(step);
+                    ++probe_steps_;
+                }
+            }
         }
     }
     return steps;

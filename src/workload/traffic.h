@@ -38,6 +38,21 @@ struct UploadTrafficConfig
     /** Emit MOT steps (true) or per-rung SOT steps (false). */
     bool use_mot = true;
 
+    /**
+     * Route Popular-bucket uploads through the dynamic optimizer:
+     * each new video draws a predicted watch count from the
+     * popularity model and, when it lands in the Popular bucket,
+     * emits one extra single-pass probe step per rate-quality
+     * operating point (first chunk only, Batch priority). This is
+     * how the optimizer's probe encodes become real load in the
+     * cluster simulator (Section 4.5: upload-time dynamic
+     * optimization for the popular sliver).
+     */
+    bool optimizer_probes = false;
+
+    /** Probe operating points per optimized video (|probe_qps|). */
+    int optimizer_probe_points = 5;
+
     uint64_t seed = 1;
 };
 
@@ -60,13 +75,30 @@ class UploadTraffic
 
     uint64_t videosGenerated() const { return next_video_id_; }
 
+    /** Source frames across all generated videos (conservation). */
+    uint64_t totalSourceFrames() const { return total_source_frames_; }
+
+    /** Source seconds across all generated videos. */
+    double totalVideoSeconds() const { return total_video_seconds_; }
+
+    /** Videos routed through the optimizer (Popular bucket). */
+    uint64_t videosProbed() const { return videos_probed_; }
+
+    /** Extra probe steps emitted for optimized videos. */
+    uint64_t probeStepsGenerated() const { return probe_steps_; }
+
   private:
     wsva::video::Resolution sampleResolution();
 
     UploadTrafficConfig cfg_;
     wsva::Rng rng_;
+    wsva::Rng pop_rng_; //!< Popularity stream, independent of uploads.
     uint64_t next_video_id_ = 0;
     uint64_t next_step_id_ = 0;
+    uint64_t total_source_frames_ = 0;
+    double total_video_seconds_ = 0.0;
+    uint64_t videos_probed_ = 0;
+    uint64_t probe_steps_ = 0;
 };
 
 /** Live streaming traffic: fixed concurrent streams, periodic chunks. */

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 #include <vector>
 
@@ -113,6 +114,61 @@ TEST(Rng, BernoulliFrequency)
     for (int i = 0; i < n; ++i)
         hits += rng.bernoulli(0.3);
     EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// Sample mean of n Poisson draws must land within 3 sigma of the
+// true mean (sigma of the mean = sqrt(lambda / n)). Covers both the
+// Knuth regime and the normal-approximation regime.
+void
+expectPoissonMean(double lambda, uint64_t seed)
+{
+    Rng rng(seed);
+    const int n = 3000;
+    double acc = 0;
+    for (int i = 0; i < n; ++i)
+        acc += static_cast<double>(rng.poisson(lambda));
+    const double sigma_of_mean = std::sqrt(lambda / n);
+    EXPECT_NEAR(acc / n, lambda, 3.0 * sigma_of_mean)
+        << "lambda = " << lambda;
+}
+
+TEST(Rng, PoissonMeanSmallLambda)
+{
+    expectPoissonMean(0.1, 31);
+}
+
+TEST(Rng, PoissonMeanMediumLambda)
+{
+    expectPoissonMean(10.0, 37);
+}
+
+// Regression: the naive Knuth product sampler computes exp(-lambda),
+// which flushes to zero for lambda above ~745 and silently caps every
+// draw near 745. At lambda = 1e4 the fixed sampler must keep its full
+// mean.
+TEST(Rng, PoissonMeanWarehouseLambda)
+{
+    expectPoissonMean(1e4, 41);
+    Rng rng(43);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_GT(rng.poisson(1e4), 2000u);
+}
+
+TEST(Rng, PoissonDeterministicPerSeed)
+{
+    Rng a(47);
+    Rng b(47);
+    for (const double lambda : {0.5, 20.0, 5000.0}) {
+        for (int i = 0; i < 100; ++i)
+            EXPECT_EQ(a.poisson(lambda), b.poisson(lambda));
+    }
+}
+
+TEST(Rng, PoissonZeroMeanIsZero)
+{
+    Rng rng(53);
+    EXPECT_EQ(rng.poisson(0.0), 0u);
+    EXPECT_EQ(rng.poisson(-1.0), 0u);
 }
 
 TEST(Rng, ForkedStreamsAreIndependent)

@@ -87,6 +87,36 @@ TEST(Pipeline, FifosAbsorbVariability)
     EXPECT_GT(r_deep.throughput_items_per_cycle, 0.095);
 }
 
+// Hand-computed 3-stage, depth-1 pipeline. A FIFO slot frees when the
+// downstream stage STARTS (pops) an item; the old model freed it only
+// at downstream FINISH, which overstated backpressure.
+//
+//   service a = {1,1,1,1}, b = {4,4,4,4}, c = {9,1,1,1}
+//
+//   item 0: a[0,1)  b[1,5)   c[5,14)
+//   item 1: a[1,2)  b[5,9)   c[14,15)   (b waits for c to pop item 0)
+//   item 2: a[5,6)  b[14,18) c[18,19)   (a waits for b to pop item 1)
+//   item 3: a[14,15) b[18,22) c[22,23)
+//
+// Correct total = 23 cycles. Constraining on downstream finish
+// instead gives 29.
+TEST(Pipeline, BackpressureFreesSlotOnDownstreamStart)
+{
+    std::vector<StageSpec> stages = {{"a", 1}, {"b", 1}, {"c", 1}};
+    std::vector<std::vector<uint32_t>> service = {
+        {1, 1, 1, 1},
+        {4, 4, 4, 4},
+        {9, 1, 1, 1},
+    };
+    const auto r = simulatePipeline(stages, service);
+    EXPECT_EQ(r.total_cycles, 23u);
+    // Stage a's backpressure stalls: item 2 waits 5-2 = 3 cycles,
+    // item 3 waits 14-6 = 8 cycles.
+    EXPECT_EQ(r.stages[0].stall_cycles, 11u);
+    // The last stage has no downstream FIFO: never a space stall.
+    EXPECT_EQ(r.stages[2].stall_cycles, 0u);
+}
+
 TEST(Pipeline, EmptyWorkListIsZero)
 {
     std::vector<StageSpec> stages = {{"a", 2}};

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
+#include <vector>
 
 namespace wsva::workload {
 namespace {
@@ -99,6 +101,131 @@ TEST(UploadTraffic, ResolutionMixFavors720p1080p)
         total += n;
     EXPECT_GT(hd, total / 2);
     EXPECT_GT(by_height[2160], 0);
+}
+
+// Regression: the old inline Knuth sampler underflowed exp(-lambda)
+// and capped every window near 745 arrivals regardless of the
+// configured rate; warehouse-scale rates must keep their full mean.
+TEST(UploadTraffic, WarehouseScaleArrivalsNotCapped)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 1e4;
+    cfg.mean_video_seconds = 10.0; // Keep the step count sane.
+    cfg.vp9_fraction = 0.0;
+    cfg.seed = 21;
+    UploadTraffic gen(cfg);
+    const int windows = 50;
+    for (int t = 0; t < windows; ++t)
+        gen.arrivals(t, 1.0);
+    // Sample mean within 3 sigma of lambda (sigma of the mean =
+    // sqrt(lambda / windows) = ~14; use the exact bound).
+    const double mean =
+        static_cast<double>(gen.videosGenerated()) / windows;
+    EXPECT_NEAR(mean, 1e4, 3.0 * std::sqrt(1e4 / windows));
+}
+
+// The old generator truncated seconds*fps/chunk_frames and stamped
+// every step with the full chunk length: offered frames drifted from
+// the configured durations. Conservation must now be exact.
+TEST(UploadTraffic, FramesConservation)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 4.0;
+    cfg.vp9_fraction = 0.0; // One MOT step per chunk.
+    cfg.use_mot = true;
+    cfg.seed = 23;
+    UploadTraffic gen(cfg);
+    uint64_t step_frames = 0;
+    for (int t = 0; t < 300; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0)) {
+            ASSERT_GE(step.frames, 1);
+            ASSERT_LE(step.frames, cfg.chunk_frames);
+            step_frames += static_cast<uint64_t>(step.frames);
+        }
+    }
+    ASSERT_GT(gen.videosGenerated(), 100u);
+    // Emitted frames match the generator's own ledger exactly ...
+    EXPECT_EQ(step_frames, gen.totalSourceFrames());
+    // ... and the ledger matches seconds x fps up to per-video
+    // rounding (llround is within 0.5 frame per video).
+    EXPECT_NEAR(static_cast<double>(step_frames),
+                gen.totalVideoSeconds() * cfg.fps,
+                0.5 * static_cast<double>(gen.videosGenerated()));
+}
+
+TEST(UploadTraffic, ShortVideosKeepTrailingFrames)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 5.0;
+    cfg.mean_video_seconds = 6.0; // Mostly sub-chunk videos.
+    cfg.chunk_frames = 150;
+    cfg.vp9_fraction = 0.0;
+    cfg.seed = 25;
+    UploadTraffic gen(cfg);
+    bool saw_partial = false;
+    for (int t = 0; t < 50; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0)) {
+            if (step.frames < cfg.chunk_frames)
+                saw_partial = true;
+        }
+    }
+    EXPECT_TRUE(saw_partial);
+}
+
+TEST(UploadTraffic, OptimizerProbesEmitBatchSotSteps)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 10.0;
+    cfg.optimizer_probes = true;
+    cfg.optimizer_probe_points = 5;
+    cfg.seed = 27;
+    UploadTraffic gen(cfg);
+    uint64_t probe_steps_seen = 0;
+    for (int t = 0; t < 400; ++t) {
+        for (const auto &step : gen.arrivals(t, 1.0)) {
+            if (step.priority == wsva::cluster::Priority::Batch) {
+                ++probe_steps_seen;
+                EXPECT_EQ(step.outputs.size(), 1u);
+                EXPECT_FALSE(step.two_pass);
+                EXPECT_EQ(step.chunk_index, 0);
+                EXPECT_EQ(step.codec, CodecType::VP9);
+            }
+        }
+    }
+    // The Popular bucket is a thin sliver but not empty at this size.
+    EXPECT_GT(gen.videosProbed(), 0u);
+    EXPECT_EQ(gen.probeStepsGenerated(), gen.videosProbed() * 5u);
+    EXPECT_EQ(probe_steps_seen, gen.probeStepsGenerated());
+}
+
+TEST(UploadTraffic, ProbeToggleDoesNotPerturbUploadStream)
+{
+    UploadTrafficConfig cfg;
+    cfg.uploads_per_second = 3.0;
+    cfg.seed = 29;
+    UploadTraffic plain(cfg);
+    cfg.optimizer_probes = true;
+    UploadTraffic probed(cfg);
+    for (int t = 0; t < 100; ++t) {
+        const auto a = plain.arrivals(t, 1.0);
+        auto b = probed.arrivals(t, 1.0);
+        // Drop the extra probe steps; the upload stream itself must
+        // be identical step-for-step in count and shape.
+        std::vector<wsva::cluster::TranscodeStep> uploads;
+        for (auto &step : b) {
+            if (step.priority != wsva::cluster::Priority::Batch)
+                uploads.push_back(step);
+        }
+        ASSERT_EQ(a.size(), uploads.size());
+        for (size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].video_id, uploads[i].video_id);
+            EXPECT_EQ(a[i].frames, uploads[i].frames);
+            EXPECT_EQ(a[i].codec, uploads[i].codec);
+            EXPECT_EQ(a[i].input.width, uploads[i].input.width);
+        }
+    }
+    EXPECT_EQ(plain.videosGenerated(), probed.videosGenerated());
+    EXPECT_EQ(plain.totalSourceFrames(), probed.totalSourceFrames());
 }
 
 TEST(LiveTraffic, EmitsOneStepPerStreamPerSegment)
