@@ -28,3 +28,10 @@ echo "Running bench_optimizer ..." >&2
 "$build_dir/bench/bench_optimizer" \
     > "$repo_root/BENCH_optimizer.json"
 echo "Wrote $repo_root/BENCH_optimizer.json" >&2
+
+# bench_observability exits non-zero when the tracing/SLO overhead
+# blows its 5% budget; with `set -e` that fails this script too.
+echo "Running bench_observability ..." >&2
+"$build_dir/bench/bench_observability" \
+    > "$repo_root/BENCH_observability.json"
+echo "Wrote $repo_root/BENCH_observability.json" >&2

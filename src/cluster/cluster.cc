@@ -9,14 +9,22 @@ namespace wsva::cluster {
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), repairs_(cfg.failure),
-      trace_(cfg.trace_capacity)
+      trace_(cfg.trace_capacity), own_tracer_(cfg.span_capacity),
+      slo_(cfg.slo)
 {
     WSVA_ASSERT(cfg_.hosts > 0 && cfg_.vcus_per_host > 0,
                 "cluster needs hosts and VCUs");
 
     registry_.setEnabled(cfg_.observability);
     trace_.setEnabled(cfg_.observability);
+    own_tracer_.setEnabled(cfg_.observability && cfg_.tracing);
+    tracer_ = cfg_.tracer != nullptr ? cfg_.tracer : &own_tracer_;
+    slo_.attach(&registry_, &trace_);
     repairs_.attachObservability(&registry_, &trace_);
+
+    repair_enter_.assign(static_cast<size_t>(cfg_.hosts), -1.0);
+    quarantine_enter_.assign(
+        static_cast<size_t>(cfg_.hosts * cfg_.vcus_per_host), -1.0);
 
     std::vector<Worker *> all_workers;
     int worker_id = 0;
@@ -76,6 +84,29 @@ ClusterSim::submit(const TranscodeStep &step)
     ++submitted_total_;
     ++metrics_.steps_submitted;
     submitted_counter_.inc();
+    trackUpload(step, clock_);
+}
+
+void
+ClusterSim::trackUpload(const TranscodeStep &step, double now)
+{
+    // Pre-allocate the upload's end-to-end span id at submission so
+    // queue_wait/execute children can parent to it before the span
+    // itself is recorded at terminal completion. The SLO monitor
+    // carries (submit_time, span_id) either way; when both tracing
+    // and SLO evaluation are off, nothing is tracked.
+    uint64_t span_id = 0;
+    if (tracer_->enabled() && spanSampled(step.id))
+        span_id = tracer_->nextId();
+    if (span_id != 0 || cfg_.slo.enabled)
+        slo_.onSubmit(step.id, now, span_id);
+}
+
+bool
+ClusterSim::spanSampled(uint64_t step_id) const
+{
+    return cfg_.span_sample_period <= 1 ||
+           step_id % cfg_.span_sample_period == 0;
 }
 
 Worker *
@@ -135,6 +166,7 @@ ClusterSim::manageRepairs(double now)
             host.fault_count >= cfg_.failure.host_fault_threshold) {
             if (repairs_.tryEnter(host.id, now)) {
                 host.in_repair = true;
+                repair_enter_[static_cast<size_t>(host.id)] = now;
                 // Everything on the host is drained/disabled.
                 for (size_t v = 0; v < host.vcu_health.size(); ++v) {
                     host.vcu_health[v].markFaulted(now);
@@ -158,8 +190,28 @@ ClusterSim::manageRepairs(double now)
         host.fault_count = 0;
         ++metrics_.hosts_repaired;
         registry_.inc("cluster.hosts_repaired");
+        double &entered = repair_enter_[static_cast<size_t>(host_id)];
+        if (tracer_->enabled() && entered >= 0.0) {
+            tracer_->recordSimSpan(
+                "host_repair", "cluster", entered * 1e6, now * 1e6,
+                host_id, /*parent=*/0, kProcessSimHosts, "host",
+                static_cast<uint64_t>(host_id));
+        }
+        entered = -1.0;
         for (size_t v = 0; v < host.vcu_health.size(); ++v) {
             host.vcu_health[v] = VcuHealth{};
+            // A quarantined worker sat out until this repair; close
+            // its quarantine interval on the host lane.
+            const int gid = host.workers[v]->id();
+            double &quarantined =
+                quarantine_enter_[static_cast<size_t>(gid)];
+            if (tracer_->enabled() && quarantined >= 0.0) {
+                tracer_->recordSimSpan(
+                    "quarantine", "cluster", quarantined * 1e6,
+                    now * 1e6, gid, /*parent=*/0, kProcessSimHosts,
+                    "worker", static_cast<uint64_t>(gid));
+            }
+            quarantined = -1.0;
             host.workers[v]->repairReset();
         }
     }
@@ -181,7 +233,53 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                               step.video_id);
                 backlog_.push_front(step);
             };
+            // Worker execution interval on this worker's track,
+            // parented to the upload's pre-allocated e2e span.
+            const auto recordExec = [&](const StepOutcome &o,
+                                        const char *name, double end) {
+                // The sampling check first: it spares unsampled steps
+                // (the vast majority at bench scale) the hash lookup.
+                if (!tracer_->enabled() || !spanSampled(o.step.id))
+                    return;
+                const SloMonitor::Upload *up = slo_.find(o.step.id);
+                if (up == nullptr || up->span_id == 0)
+                    return; // Upload not sampled for tracing.
+                tracer_->recordSimSpan(
+                    name, "cluster", o.start_time * 1e6, end * 1e6,
+                    1 + w->id(), up->span_id, kProcessSim, "step",
+                    o.step.id, "video", o.step.video_id);
+            };
+            // Terminal completion: close the end-to-end upload span
+            // under its pre-allocated id and settle the SLO clock.
+            const auto finishUpload = [&](const StepOutcome &o) {
+                const SloMonitor::Upload *up =
+                    tracer_->enabled() && spanSampled(o.step.id)
+                        ? slo_.find(o.step.id)
+                        : nullptr;
+                if (up != nullptr && up->span_id != 0) {
+                    SpanRecord rec;
+                    rec.name = "upload";
+                    rec.category = "cluster";
+                    rec.id = up->span_id;
+                    rec.clock = SpanClock::Sim;
+                    rec.begin_us = up->submit_time * 1e6;
+                    rec.end_us = o.finish_time * 1e6;
+                    rec.track = 0;
+                    rec.process = kProcessSim;
+                    rec.arg1_key = "step";
+                    rec.arg1 = o.step.id;
+                    rec.arg2_key = "video";
+                    rec.arg2 = o.step.video_id;
+                    tracer_->record(rec);
+                }
+                slo_.onComplete(o.step.id, o.finish_time);
+            };
             for (auto &outcome : w->collectFinished(now)) {
+                if (outcome.ok)
+                    recordExec(outcome, "execute",
+                               outcome.finish_time);
+                else
+                    recordExec(outcome, "execute_failed", now);
                 if (!outcome.ok) {
                     // Hardware failure: retry at the cluster level;
                     // with the mitigation the worker aborts all of
@@ -229,6 +327,7 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                             outcome.step.outputPixels();
                         blast_.recordEscapedCorruption(
                             outcome.step.video_id, vcu_gid);
+                        finishUpload(outcome);
                     }
                     continue;
                 }
@@ -239,6 +338,7 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                               host.id, w->id(), outcome.step.id,
                               outcome.step.video_id);
                 metrics.output_pixels += outcome.step.outputPixels();
+                finishUpload(outcome);
             }
         }
     }
@@ -301,6 +401,9 @@ ClusterSim::scheduleBacklog(double now)
                 registry_.inc("cluster.workers_quarantined");
                 trace_.record(TraceEventType::WorkerQuarantined, now,
                               gid / cfg_.vcus_per_host, gid);
+                // Open the quarantine interval; it closes into a sim
+                // span when the host comes back from repair.
+                quarantine_enter_[static_cast<size_t>(gid)] = now;
                 continue; // Re-pick; the worker is now skipped.
             }
             w->clearScreen();
@@ -314,6 +417,18 @@ ClusterSim::scheduleBacklog(double now)
             scheduler_->reservationFor(need);
         w->assign(step, reservation, now, service);
         blast_.recordChunk(step.video_id, gid);
+        if (tracer_->enabled() && spanSampled(step.id)) {
+            // Placement latency: submission (or requeue-covering
+            // original submission) to this assignment, on the
+            // assigned worker's track.
+            const SloMonitor::Upload *up = slo_.find(step.id);
+            if (up != nullptr && up->span_id != 0) {
+                tracer_->recordSimSpan(
+                    "queue_wait", "cluster", up->submit_time * 1e6,
+                    now * 1e6, 1 + gid, up->span_id, kProcessSim,
+                    "step", step.id, "video", step.video_id);
+            }
+        }
     }
 }
 
@@ -435,6 +550,7 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
                 ++submitted_total_;
                 ++metrics_.steps_submitted;
                 submitted_counter_.inc();
+                trackUpload(step, now);
             }
         }
         injectFaults(now, dt);
@@ -443,6 +559,7 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
         scheduleBacklog(now);
         checkConservation(now);
         sampleTick(now);
+        slo_.onTick(now);
     }
 
     // Final drain of completions right at the horizon.
@@ -485,10 +602,14 @@ std::string
 ClusterSim::exportJson(size_t max_trace_events) const
 {
     const ConservationSnapshot snap = conservation();
-    std::string out = "{\n\"metrics\": ";
+    // Top-level schema version for bench-JSON consumers; bump on any
+    // structural change to this export.
+    std::string out = "{\n\"schema_version\": 1,\n\"metrics\": ";
     out += registry_.toJson();
     out += ",\n\"trace\": ";
     out += trace_.toJson(max_trace_events);
+    out += ",\n\"slo\": ";
+    out += slo_.exportJson(clock_);
     out += strformat(
         ",\n\"conservation\": {\"submitted\": %llu, "
         "\"completed\": %llu, \"failed_terminal\": %llu, "

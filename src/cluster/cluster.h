@@ -20,11 +20,13 @@
 #include "cluster/consistent_hash.h"
 #include "cluster/failure.h"
 #include "cluster/scheduler.h"
+#include "cluster/slo.h"
 #include "cluster/work.h"
 #include "cluster/worker.h"
 #include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "common/trace.h"
 
 namespace wsva::cluster {
 
@@ -73,6 +75,42 @@ struct ClusterConfig
 
     /** Trace ring-buffer capacity (most recent events kept). */
     size_t trace_capacity = 1 << 16;
+
+    /**
+     * Span tracing on the deterministic sim timeline (gated by
+     * `observability` like the registry and trace log). Each upload
+     * gets an end-to-end "upload" span with "queue_wait" and
+     * "execute" children on per-worker tracks, plus "host_repair" /
+     * "quarantine" lifecycle spans on the host lane. Timestamps are
+     * sim time, so a seeded run exports a byte-identical trace.
+     */
+    bool tracing = true;
+
+    /** Span ring-buffer capacity (most recent spans kept). */
+    size_t span_capacity = 1 << 16;
+
+    /**
+     * Dapper-style head sampling: trace every Nth upload (uploads
+     * whose step id is divisible by the period get the full
+     * upload/queue_wait/execute span tree; the rest record nothing).
+     * 1 = trace everything — right for tests and small sims, and
+     * keeps seeded traces byte-identical. At bench/production scale
+     * the per-span cost times every step adds up; sampling keeps the
+     * timeline representative at a fraction of the overhead. The SLO
+     * monitor always tracks every upload regardless.
+     */
+    uint32_t span_sample_period = 1;
+
+    /**
+     * External tracer override (not owned; must outlive the sim).
+     * Null = the sim owns its tracer. Sharing one tracer with the
+     * transcode pipeline / optimizer puts every layer on one
+     * exported timeline.
+     */
+    wsva::Tracer *tracer = nullptr;
+
+    /** End-to-end upload latency SLO monitoring. */
+    SloConfig slo;
 
     uint64_t seed = 1;
 };
@@ -190,6 +228,13 @@ class ClusterSim
     const wsva::TraceLog &traceLog() const { return trace_; }
     wsva::TraceLog &traceLog() { return trace_; }
 
+    /** The span tracer (the override when one was configured). */
+    const wsva::Tracer &tracer() const { return *tracer_; }
+    wsva::Tracer &tracer() { return *tracer_; }
+
+    /** The SLO monitor. */
+    const SloMonitor &slo() const { return slo_; }
+
     /** Current step ledger (valid between ticks and after run()). */
     ConservationSnapshot conservation() const;
 
@@ -210,6 +255,9 @@ class ClusterSim
     void scheduleBacklog(double now);
     void checkConservation(double now);
     void sampleTick(double now);
+    void trackUpload(const TranscodeStep &step, double now);
+    /** Whether this step id is head-sampled for span tracing. */
+    bool spanSampled(uint64_t step_id) const;
     Worker *workerAt(int host, int vcu);
 
     ClusterConfig cfg_;
@@ -223,6 +271,14 @@ class ClusterSim
     BlastRadiusTracker blast_;
     wsva::MetricsRegistry registry_;
     wsva::TraceLog trace_;
+    wsva::Tracer own_tracer_;
+    wsva::Tracer *tracer_ = nullptr; //!< cfg_.tracer or &own_tracer_.
+    SloMonitor slo_;
+
+    // Open lifecycle intervals, closed into sim spans when they end
+    // (-1 = none open). Indexed by host id / global worker id.
+    std::vector<double> repair_enter_;
+    std::vector<double> quarantine_enter_;
 
     // Pre-resolved handles for the per-step counters (hot paths run
     // once per step per tick; handles skip the name lookup).

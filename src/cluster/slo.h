@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Per-upload SLO monitoring for the cluster simulator.
+ *
+ * The paper's deployment story (Section 4) is ultimately about a
+ * latency promise: uploads must become playable quickly even while
+ * VCUs fault, hosts cycle through repair, and corrupt output is
+ * caught and re-run. This monitor tracks every submitted step from
+ * submission to terminal completion and derives the alerting signals
+ * a production service would page on:
+ *
+ *  - lifetime end-to-end latency distribution (p50/p99),
+ *  - a sliding-window p99 over the last `window_ticks` ticks,
+ *  - a burn rate: the fraction of recent ticks whose windowed p99
+ *    exceeded the target (an SLO-burn alert fires with hysteresis —
+ *    raised at `burn_alert_fraction`, cleared at half of it, so a
+ *    rate hovering at the line does not flap),
+ *  - queue age: how long the oldest unfinished step has been in the
+ *    system.
+ *
+ * Alert transitions are recorded as SloAlert / SloAlertCleared
+ * TraceLog events, the signals are sampled into MetricsRegistry
+ * series each tick, and everything is summarized by exportJson()
+ * (surfaced through ClusterSim::exportJson()). The monitor also
+ * carries the pre-allocated end-to-end span id per upload, which is
+ * how ClusterSim parents its queue_wait/execute sim spans to the
+ * upload's root span.
+ */
+
+#ifndef WSVA_CLUSTER_SLO_H
+#define WSVA_CLUSTER_SLO_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/flat_map.h"
+#include "common/stats.h"
+
+namespace wsva {
+class MetricsRegistry;
+class TraceLog;
+} // namespace wsva
+
+namespace wsva::cluster {
+
+/** SLO monitoring configuration. */
+struct SloConfig
+{
+    bool enabled = true;
+
+    /** The promise: p99 end-to-end latency stays under this. */
+    double p99_target_seconds = 120.0;
+
+    /** Sliding-window length, in simulation ticks. */
+    size_t window_ticks = 60;
+
+    /**
+     * Alert when this fraction of recent ticks had a windowed p99
+     * over target; the alert clears at half this fraction.
+     */
+    double burn_alert_fraction = 0.5;
+
+    /**
+     * Publish the windowed p99 / burn-rate / queue-age gauges and
+     * series every N ticks. The alert itself is evaluated every tick
+     * (the burning check is an O(1) rank-count comparison); only the
+     * dashboard values are decimated, because materializing the exact
+     * windowed p99 costs a selection pass over the window.
+     */
+    size_t gauge_every_ticks = 15;
+};
+
+/**
+ * Tracks per-upload end-to-end latency and derives windowed p99,
+ * burn rate, queue age, and a hysteretic burn-rate alert.
+ *
+ * Uploads enter via onSubmit() and leave via onComplete(); retries
+ * keep their entry, so the measured latency covers every requeue and
+ * repair in between. The submit/complete bookkeeping runs whenever
+ * the caller invokes it (the span-id plumbing needs it even when SLO
+ * evaluation is off); `enabled` only gates the per-tick evaluation.
+ */
+class SloMonitor
+{
+  public:
+    /** One unfinished upload. */
+    struct Upload
+    {
+        double submit_time = 0.0;
+        uint64_t span_id = 0; //!< Pre-allocated e2e span id (0 = none).
+    };
+
+    explicit SloMonitor(SloConfig cfg = {});
+
+    /** Attach observability sinks (optional, not owned). */
+    void attach(wsva::MetricsRegistry *metrics, wsva::TraceLog *trace);
+
+    const SloConfig &config() const { return cfg_; }
+
+    /** A step entered the system at @p now. */
+    void onSubmit(uint64_t step_id, double now, uint64_t span_id = 0);
+
+    /** The unfinished upload for @p step_id, or nullptr. */
+    const Upload *find(uint64_t step_id) const;
+
+    /**
+     * A step terminally completed at @p now.
+     * @return its end-to-end latency in seconds, or a negative value
+     *         when the step was never tracked.
+     */
+    double onComplete(uint64_t step_id, double now);
+
+    /** Evaluate the windowed signals and the alert at tick time. */
+    void onTick(double now);
+
+    /** Windowed p99 over completions in the last window_ticks. */
+    double windowP99() const;
+
+    /** Fraction of recent ticks whose windowed p99 was over target. */
+    double burnRate() const;
+
+    bool alertActive() const { return alert_active_; }
+    uint64_t alertsRaised() const { return alerts_raised_; }
+
+    /** Age of the oldest unfinished upload (0 when none). */
+    double queueAge(double now) const;
+
+    size_t inflight() const { return inflight_.size(); }
+    uint64_t completedCount() const { return completed_; }
+
+    /** Completions whose latency exceeded the target (lifetime). */
+    uint64_t violations() const { return violations_total_; }
+
+    /** Lifetime end-to-end latency quantile. */
+    double lifetimeQuantile(double q) const
+    {
+        return latency_.quantile(q);
+    }
+
+    /** JSON object summarizing the SLO state at time @p now. */
+    std::string exportJson(double now) const;
+
+  private:
+    SloConfig cfg_;
+    wsva::MetricsRegistry *metrics_ = nullptr;
+    wsva::TraceLog *trace_ = nullptr;
+
+    // Hot path: one insert per submit, one find+erase per completion,
+    // once per step — an open-addressing flat map keeps that churn
+    // off the allocator entirely (bench_observability's 5% budget is
+    // only ~4 ms of CPU; node-based map churn alone ate half of it).
+    wsva::FlatMap64<Upload> inflight_;
+    // (submit_time, step_id) in submission order. Submission times
+    // are non-decreasing (the sim clock), so the oldest unfinished
+    // upload is at the front once finished/stale entries are lazily
+    // popped — queueAge() is amortized O(1) instead of a per-tick
+    // scan of a map that grows without bound under overload.
+    mutable std::deque<std::pair<double, uint64_t>> submit_order_;
+    wsva::Histogram latency_;
+    uint64_t completed_ = 0;
+    uint64_t violations_total_ = 0;
+
+    uint64_t tick_ = 0;
+    // (tick, latency) of recent completions, pruned to the window.
+    std::deque<std::pair<uint64_t, double>> window_latencies_;
+    // Completions in the window whose latency exceeds the target,
+    // maintained incrementally. "windowed p99 > target" is exactly
+    // "at least (n - rank) of the n window latencies exceed the
+    // target", so the per-tick burning check is O(1) and never
+    // materializes the p99 value.
+    size_t over_target_in_window_ = 0;
+    // Scratch for on-demand windowP99(); reused across calls.
+    mutable std::vector<double> p99_scratch_;
+    // One flag per recent tick: was the windowed p99 over target?
+    std::deque<bool> window_burning_;
+    // Count of true flags in window_burning_, kept incrementally so
+    // burnRate() is O(1) on the per-tick path.
+    size_t burning_ticks_ = 0;
+    bool alert_active_ = false;
+    uint64_t alerts_raised_ = 0;
+};
+
+} // namespace wsva::cluster
+
+#endif // WSVA_CLUSTER_SLO_H

@@ -68,6 +68,7 @@ Worker::collectFinished(double now)
             outcome.step = it->step;
             outcome.ok = !failed;
             outcome.corrupt = corrupting && !failed;
+            outcome.start_time = it->start_time;
             outcome.finish_time = failed ? now : it->finish_time;
             out.push_back(outcome);
             available_.add(it->need);

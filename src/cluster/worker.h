@@ -64,6 +64,7 @@ struct StepOutcome
     TranscodeStep step;
     bool ok = true;        //!< False: hardware error, must retry.
     bool corrupt = false;  //!< Completed but output is garbage.
+    double start_time = 0.0; //!< When the worker began the step.
     double finish_time = 0.0;
 };
 

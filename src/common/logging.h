@@ -12,6 +12,7 @@
 #define WSVA_COMMON_LOGGING_H
 
 #include <cstdarg>
+#include <functional>
 #include <string>
 
 namespace wsva {
@@ -23,15 +24,46 @@ std::string strformat(const char *fmt, ...)
 /** vprintf-style formatting into a std::string. */
 std::string vstrformat(const char *fmt, va_list args);
 
+/**
+ * A log sink receives every emitted line as (severity tag, message).
+ * The default sink writes "tag: message" to stderr.
+ */
+using LogSinkFn =
+    std::function<void(const char *tag, const std::string &msg)>;
+
+/**
+ * Replace the process-wide log sink (thread-safe). An empty function
+ * restores the default stderr sink. Tests use this to capture and
+ * assert on log output; long-running drivers can route logs into
+ * their own telemetry. Note that fatal()/panic() still terminate
+ * after the sink call.
+ */
+void setLogSink(LogSinkFn sink);
+
+/** Restore the default stderr sink. */
+void resetLogSink();
+
+/**
+ * Forget which warn() messages have been seen (the duplicate
+ * rate-limit state). Tests call this for isolation.
+ */
+void resetWarnRateLimit();
+
 namespace detail {
-/** Emit one log line with the given severity tag to stderr. */
+/** Emit one log line with the given severity tag via the sink. */
 void logLine(const char *tag, const std::string &msg);
 } // namespace detail
 
 /** Report normal operating status; no connotation of misbehaviour. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Report a suspicious-but-survivable condition. */
+/**
+ * Report a suspicious-but-survivable condition. Identical repeated
+ * messages are rate-limited: the first occurrence is emitted, then
+ * only every power-of-ten repetition (10th, 100th, ...) with a
+ * "(seen N times)" suffix — a warn in a per-tick or per-step loop
+ * cannot flood the log.
+ */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**

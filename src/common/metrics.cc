@@ -148,7 +148,9 @@ std::string
 MetricsRegistry::toJson() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::string out = "{\n  \"counters\": {";
+    // schema_version lets bench-JSON consumers detect format drift;
+    // bump it on any structural change to this export.
+    std::string out = "{\n  \"schema_version\": 1,\n  \"counters\": {";
     bool first = true;
     for (const auto &[name, value] : counters_) {
         out += first ? "\n    " : ",\n    ";
@@ -224,6 +226,8 @@ traceEventTypeName(TraceEventType type)
       case TraceEventType::StepCorrupt: return "step_corrupt";
       case TraceEventType::WorkerQuarantined:
         return "worker_quarantined";
+      case TraceEventType::SloAlert: return "slo_alert";
+      case TraceEventType::SloAlertCleared: return "slo_alert_cleared";
     }
     return "unknown";
 }

@@ -154,8 +154,10 @@ class MetricsRegistry
     void reset();
 
     /**
-     * JSON object with "counters", "gauges", "histograms" (bins plus
-     * p50/p90/p99), and "series" (stride + retained points).
+     * JSON object with "schema_version", "counters", "gauges",
+     * "histograms" (bins plus p50/p90/p99), and "series" (stride +
+     * retained points). The schema version is bumped on structural
+     * changes so bench-JSON consumers can detect drift.
      */
     std::string toJson() const;
 
@@ -188,10 +190,12 @@ enum class TraceEventType : int {
     StepRetried,         //!< Step re-queued after failure/abort.
     StepCorrupt,         //!< Step produced corrupt output.
     WorkerQuarantined,   //!< Worker refused its VCU after screening.
+    SloAlert,            //!< SLO burn rate crossed the alert line.
+    SloAlertCleared,     //!< SLO burn rate recovered.
 };
 
 /** Number of distinct TraceEventType values. */
-inline constexpr size_t kTraceEventTypeCount = 10;
+inline constexpr size_t kTraceEventTypeCount = 12;
 
 /** Stable snake_case name of an event type (for JSON). */
 const char *traceEventTypeName(TraceEventType type);

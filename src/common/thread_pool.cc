@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace wsva {
 
@@ -55,6 +56,19 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::enqueue(std::function<void()> job)
 {
+    // Span-context propagation: a job submitted from inside a traced
+    // span runs with that span as its parent, no matter which worker
+    // picks it up (or steals it). With tracing disabled this costs a
+    // thread-local read and one predictable branch; the wrapper (and
+    // its allocation) only exists while a tracer is live and enabled.
+    const SpanContext ctx = currentSpanContext();
+    if (ctx.tracer != nullptr && ctx.tracer->enabled()) {
+        job = [ctx, inner = std::move(job)] {
+            ScopedSpanContext scope(ctx);
+            inner();
+        };
+    }
+
     const size_t target =
         next_queue_.fetch_add(1, std::memory_order_relaxed) %
         queues_.size();

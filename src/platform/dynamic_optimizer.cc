@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "platform/rq_cache.h"
 #include "video/codec/decoder.h"
 #include "video/codec/encoder.h"
@@ -85,11 +86,16 @@ buildRateQualityCurve(const std::vector<wsva::video::Frame> &clip,
     RateQualityCurve curve;
     curve.points.resize(qps.size());
 
+    wsva::Span build_span(cfg.tracer, "build_rq_curve", "optimizer");
+    build_span.arg("probes", qps.size());
+
     // Each probe is an independent ConstQp encode plus its PSNR
     // decode, landing in a pre-assigned slot of the curve — every
     // schedule yields bit-identical points, so the pool fan-out is
     // byte-exact with the serial loop.
     const auto probe = [&](size_t i) {
+        wsva::Span span(cfg.tracer, "probe_encode", "optimizer");
+        span.arg("qp", static_cast<uint64_t>(qps[i]));
         const double t0 = wallSeconds();
         const int qp = qps[i];
         EncoderConfig ecfg;
@@ -143,6 +149,7 @@ std::shared_ptr<const RateQualityCurve>
 rateQualityCurveFor(const std::vector<wsva::video::Frame> &clip,
                     const DynamicOptimizerConfig &cfg)
 {
+    wsva::Span span(cfg.tracer, "rq_curve_for", "optimizer");
     if (cfg.cache == nullptr) {
         return std::make_shared<const RateQualityCurve>(
             buildRateQualityCurve(clip, cfg));
@@ -151,8 +158,11 @@ rateQualityCurveFor(const std::vector<wsva::video::Frame> &clip,
     key.clip_fingerprint = fingerprintClip(clip);
     key.codec = cfg.codec;
     key.probe_signature = probeSignature(cfg);
-    if (auto cached = cfg.cache->get(key))
+    if (auto cached = cfg.cache->get(key)) {
+        span.arg("cache_hit", 1);
         return cached;
+    }
+    span.arg("cache_hit", 0);
     auto curve = std::make_shared<const RateQualityCurve>(
         buildRateQualityCurve(clip, cfg));
     cfg.cache->put(key, curve);

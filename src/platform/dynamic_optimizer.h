@@ -26,6 +26,7 @@
 namespace wsva {
 class MetricsRegistry;
 class ThreadPool;
+class Tracer;
 }
 
 namespace wsva::platform {
@@ -96,6 +97,15 @@ struct DynamicOptimizerConfig
      * buildRateQualityCurve() always computes.
      */
     RqCache *cache = nullptr;
+
+    /**
+     * Optional span tracer (not owned; must outlive the call).
+     * rateQualityCurveFor() records a "rq_curve_for" span annotated
+     * with the cache outcome; a build records "build_rq_curve" with
+     * one "probe_encode" child per quantizer (parented correctly
+     * across the pool fan-out).
+     */
+    wsva::Tracer *tracer = nullptr;
 };
 
 /**

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "video/codec/decoder.h"
 #include "video/codec/rate_control.h"
 
@@ -124,6 +125,12 @@ transcodeMot(const std::vector<Frame> &source,
     const auto chunks = chunkFrames(source, cfg.chunk_frames);
     const size_t jobs = chunks.size() * outputs.size();
 
+    // Root span of the whole upload transcode; the fan-out jobs below
+    // parent to it via the thread-pool context propagation.
+    wsva::Span transcode_span(cfg.tracer, "transcode", "pipeline");
+    transcode_span.arg("chunks", chunks.size());
+    transcode_span.arg("rungs", outputs.size());
+
     // Chunks are closed GOPs and rungs are independent, so the
     // chunk x rung encode jobs are embarrassingly parallel. Every
     // result lands in its pre-assigned slot, so scheduling order
@@ -165,6 +172,8 @@ transcodeMot(const std::vector<Frame> &source,
     if (cfg.encoder.rc_mode != RcMode::ConstQp) {
         chunk_stats.resize(chunks.size());
         runFor(chunks.size(), [&](size_t i) {
+            wsva::Span span(cfg.tracer, "first_pass", "pipeline");
+            span.arg("chunk", i);
             const double t0 = wallSeconds();
             chunk_stats[i] = runFirstPass(chunks[i]);
             if (cfg.metrics != nullptr) {
@@ -202,6 +211,9 @@ transcodeMot(const std::vector<Frame> &source,
     runFor(jobs, [&](size_t j) {
         const size_t r = j / chunks.size();
         const size_t i = j % chunks.size();
+        wsva::Span span(cfg.tracer, "encode_chunk", "pipeline");
+        span.arg("chunk", i);
+        span.arg("rung", r);
         const Resolution &res = outputs[r];
         const double rel =
             static_cast<double>(res.width) * res.height / top_pixels;
@@ -224,6 +236,8 @@ transcodeMot(const std::vector<Frame> &source,
     std::vector<std::string> errors(result.variants.size());
     std::vector<char> failed(result.variants.size(), 0);
     runFor(result.variants.size(), [&](size_t v) {
+        wsva::Span span(cfg.tracer, "verify_variant", "pipeline");
+        span.arg("rung", v);
         std::string error;
         const auto frames =
             assembleVariant(result.variants[v], source.size(), &error);

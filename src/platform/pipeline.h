@@ -19,6 +19,7 @@
 namespace wsva {
 class MetricsRegistry;
 class ThreadPool;
+class Tracer;
 }
 
 namespace wsva::platform {
@@ -99,6 +100,16 @@ struct PipelineConfig
      * pool fan-out records concurrently.
      */
     wsva::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional span tracer (not owned; must outlive the call). When
+     * set and enabled, a transcode records a "transcode" root span
+     * with child spans per first-pass analysis, per chunk x rung
+     * encode job (parented correctly across the pool fan-out), and
+     * per-variant integrity verification. Null or disabled costs one
+     * predictable branch per would-be span.
+     */
+    wsva::Tracer *tracer = nullptr;
 };
 
 /**

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/trace.h"
 
 namespace wsva::platform {
 
@@ -98,7 +99,8 @@ RqCache::KeyHash::operator()(const RqCacheKey &key) const
 }
 
 RqCache::RqCache(RqCacheConfig cfg)
-    : capacity_bytes_(cfg.capacity_bytes), metrics_(cfg.metrics)
+    : capacity_bytes_(cfg.capacity_bytes), metrics_(cfg.metrics),
+      tracer_(cfg.tracer)
 {
     const size_t shard_count = std::max<size_t>(1, cfg.shards);
     shard_capacity_bytes_ =
@@ -143,6 +145,11 @@ RqCache::get(const RqCacheKey &key)
         misses_.fetch_add(1, std::memory_order_relaxed);
         miss_counter_.inc();
     }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->instant(curve ? "rq_cache.hit" : "rq_cache.miss",
+                         "rq_cache", "fingerprint",
+                         key.clip_fingerprint);
+    }
     return curve;
 }
 
@@ -186,6 +193,13 @@ RqCache::put(const RqCacheKey &key,
     if (evicted > 0) {
         evictions_.fetch_add(evicted, std::memory_order_relaxed);
         eviction_counter_.inc(evicted);
+    }
+    if (tracer_ != nullptr && tracer_->enabled()) {
+        tracer_->instant("rq_cache.insert", "rq_cache", "fingerprint",
+                         key.clip_fingerprint, "bytes", bytes);
+        if (evicted > 0)
+            tracer_->instant("rq_cache.evict", "rq_cache", "count",
+                             evicted);
     }
     publishGauges();
 }

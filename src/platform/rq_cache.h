@@ -36,6 +36,10 @@
 #include "platform/dynamic_optimizer.h"
 #include "video/frame.h"
 
+namespace wsva {
+class Tracer;
+}
+
 namespace wsva::platform {
 
 /** Content-derived cache key. */
@@ -77,6 +81,15 @@ struct RqCacheConfig
      * and rq_cache.{bytes,entries} gauges.
      */
     wsva::MetricsRegistry *metrics = nullptr;
+
+    /**
+     * Optional span tracer (not owned; must outlive the cache).
+     * Records instant events "rq_cache.hit" / "rq_cache.miss" on
+     * lookups and "rq_cache.insert" / "rq_cache.evict" on stores,
+     * each annotated with the clip fingerprint, so a timeline shows
+     * where a probe burst was spent versus skipped.
+     */
+    wsva::Tracer *tracer = nullptr;
 };
 
 /** Counter snapshot (works without a registry). */
@@ -168,6 +181,7 @@ class RqCache
     std::atomic<uint64_t> insertions_{0};
 
     wsva::MetricsRegistry *metrics_ = nullptr;
+    wsva::Tracer *tracer_ = nullptr;
     wsva::CounterHandle hit_counter_;
     wsva::CounterHandle miss_counter_;
     wsva::CounterHandle eviction_counter_;

@@ -66,7 +66,8 @@ EncoderCoreModel::estimate(const EncodeJob &job) const
             0.60 * base * mbJitter(job.seed, i, 2, 0.05));
     }
 
-    const PipelineResult pipe = simulatePipeline(stages, service);
+    const PipelineResult pipe =
+        simulatePipeline(stages, service, cfg_.tracer);
 
     const double hz = cfg_.clock_ghz * 1e9;
     double seconds_per_frame =

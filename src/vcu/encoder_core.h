@@ -24,6 +24,10 @@
 
 #include "video/codec/codec.h"
 
+namespace wsva {
+class Tracer;
+}
+
 namespace wsva::vcu {
 
 /** Static parameters of the encoder-core model. */
@@ -37,6 +41,13 @@ struct EncoderCoreConfig
 
     /** Reference-frame read compression (Section 3.2: ~2x). */
     double fbc_read_ratio = 2.0;
+
+    /**
+     * Optional span tracer (not owned; must outlive the model's
+     * estimate calls). Forwarded to the hlsim pipeline run, which
+     * records per-(stage, macroblock) occupancy spans in cycle time.
+     */
+    wsva::Tracer *tracer = nullptr;
 };
 
 /** One encode operation presented to the core. */

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/trace.h"
+
 namespace wsva::vcu {
 
 PipelineResult
 simulatePipeline(const std::vector<StageSpec> &stages,
-                 const std::vector<std::vector<uint32_t>> &service_cycles)
+                 const std::vector<std::vector<uint32_t>> &service_cycles,
+                 wsva::Tracer *tracer)
 {
     const size_t n_stages = stages.size();
     WSVA_ASSERT(n_stages >= 1, "pipeline needs at least one stage");
@@ -60,6 +63,23 @@ simulatePipeline(const std::vector<StageSpec> &stages,
             st.busy_cycles += service;
             // Backpressure stall: time beyond data/serial readiness.
             st.stall_cycles += start - std::max(ready, stage_free);
+        }
+    }
+
+    // Emit the occupancy intervals after the recurrence so tracing
+    // cannot perturb the timing model: one sim-domain span per
+    // (stage, item), tracked per stage, timestamped in raw cycles.
+    if (tracer != nullptr && tracer->enabled()) {
+        for (size_t s = 0; s < n_stages; ++s) {
+            const char *stage_name = tracer->intern(stages[s].name);
+            for (size_t i = 0; i < n_items; ++i) {
+                tracer->recordSimSpan(
+                    stage_name, "hlsim",
+                    static_cast<double>(begin[s][i]),
+                    static_cast<double>(finish[s][i]),
+                    static_cast<int>(s), /*parent=*/0, kProcessHlsim,
+                    "item", static_cast<uint64_t>(i));
+            }
         }
     }
 

@@ -29,6 +29,10 @@
 
 #include "common/logging.h"
 
+namespace wsva {
+class Tracer;
+}
+
 namespace wsva::vcu {
 
 /** Bounded FIFO channel with occupancy accounting (ac_channel-like). */
@@ -112,10 +116,17 @@ struct PipelineResult
  * @param stages Stage specifications (order = dataflow order).
  * @param service_cycles service_cycles[s][i] = cycles stage s spends
  *        on item i. All rows must have the same length.
+ * @param tracer Optional span sink (not owned). When set and enabled,
+ *        every (stage, item) occupancy interval is recorded as a
+ *        sim-domain span — timestamps in cycles, one track per stage
+ *        on the hlsim process lane — so Perfetto shows the macroblock
+ *        pipeline's fill, drain, and backpressure bubbles. Cycle
+ *        timings are identical with and without a tracer.
  */
 PipelineResult simulatePipeline(
     const std::vector<StageSpec> &stages,
-    const std::vector<std::vector<uint32_t>> &service_cycles);
+    const std::vector<std::vector<uint32_t>> &service_cycles,
+    wsva::Tracer *tracer = nullptr);
 
 } // namespace wsva::vcu
 

@@ -1,0 +1,164 @@
+#include "cluster/slo.h"
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "support/mini_json.h"
+
+namespace wsva::cluster {
+namespace {
+
+using wsva::testsupport::JsonValue;
+using wsva::testsupport::parseJson;
+
+SloConfig
+tightConfig()
+{
+    SloConfig cfg;
+    cfg.p99_target_seconds = 10.0;
+    cfg.window_ticks = 4;
+    cfg.burn_alert_fraction = 0.5;
+    return cfg;
+}
+
+TEST(SloMonitor, MeasuresEndToEndLatency)
+{
+    SloMonitor slo(tightConfig());
+    slo.onSubmit(1, 100.0, 77);
+    const SloMonitor::Upload *up = slo.find(1);
+    ASSERT_NE(up, nullptr);
+    EXPECT_DOUBLE_EQ(up->submit_time, 100.0);
+    EXPECT_EQ(up->span_id, 77u);
+    EXPECT_DOUBLE_EQ(slo.onComplete(1, 103.5), 3.5);
+    EXPECT_EQ(slo.find(1), nullptr);
+    EXPECT_EQ(slo.completedCount(), 1u);
+    EXPECT_EQ(slo.inflight(), 0u);
+}
+
+TEST(SloMonitor, UntrackedCompletionReturnsNegative)
+{
+    SloMonitor slo(tightConfig());
+    EXPECT_LT(slo.onComplete(99, 1.0), 0.0);
+}
+
+TEST(SloMonitor, CountsViolationsAgainstTarget)
+{
+    SloMonitor slo(tightConfig()); // Target: 10 s.
+    slo.onSubmit(1, 0.0);
+    slo.onSubmit(2, 0.0);
+    slo.onComplete(1, 5.0);  // Within target.
+    slo.onComplete(2, 25.0); // Violation.
+    EXPECT_EQ(slo.violations(), 1u);
+}
+
+TEST(SloMonitor, QueueAgeTracksOldestUnfinishedUpload)
+{
+    SloMonitor slo(tightConfig());
+    EXPECT_DOUBLE_EQ(slo.queueAge(50.0), 0.0);
+    slo.onSubmit(1, 10.0);
+    slo.onSubmit(2, 30.0);
+    EXPECT_DOUBLE_EQ(slo.queueAge(50.0), 40.0);
+    slo.onComplete(1, 50.0);
+    EXPECT_DOUBLE_EQ(slo.queueAge(50.0), 20.0);
+}
+
+TEST(SloMonitor, WindowP99ReflectsRecentCompletionsOnly)
+{
+    SloMonitor slo(tightConfig()); // Window: 4 ticks.
+    slo.onSubmit(1, 0.0);
+    slo.onComplete(1, 30.0); // Latency 30 at tick 0.
+    slo.onTick(1.0);
+    EXPECT_DOUBLE_EQ(slo.windowP99(), 30.0);
+    // Five more ticks push the slow completion out of the window.
+    for (int t = 2; t <= 6; ++t)
+        slo.onTick(static_cast<double>(t));
+    EXPECT_DOUBLE_EQ(slo.windowP99(), 0.0);
+}
+
+TEST(SloMonitor, BurnRateAlertRaisesAndClearsWithHysteresis)
+{
+    wsva::MetricsRegistry registry;
+    wsva::TraceLog log;
+    SloMonitor slo(tightConfig());
+    slo.attach(&registry, &log);
+
+    // Two of four window ticks burning -> burn rate 0.5 -> alert.
+    double now = 0.0;
+    for (int i = 0; i < 2; ++i) {
+        const uint64_t id = static_cast<uint64_t>(i) + 1;
+        slo.onSubmit(id, now);
+        slo.onComplete(id, now + 50.0); // Far over the 10 s target.
+        now += 1.0;
+        slo.onTick(now);
+    }
+    EXPECT_TRUE(slo.alertActive());
+    EXPECT_EQ(slo.alertsRaised(), 1u);
+    EXPECT_EQ(log.countOf(TraceEventType::SloAlert), 1u);
+    EXPECT_EQ(registry.counter("slo.alerts"), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("slo.alert_active"), 1.0);
+
+    // Healthy ticks: burn rate decays; the alert clears only once it
+    // reaches half the alert fraction (hysteresis), and it must not
+    // re-raise while hovering below the line.
+    for (int i = 0; i < 8; ++i) {
+        now += 1.0;
+        slo.onTick(now);
+    }
+    EXPECT_FALSE(slo.alertActive());
+    EXPECT_EQ(slo.alertsRaised(), 1u);
+    EXPECT_EQ(log.countOf(TraceEventType::SloAlertCleared), 1u);
+    EXPECT_DOUBLE_EQ(registry.gauge("slo.alert_active"), 0.0);
+}
+
+TEST(SloMonitor, DisabledSkipsEvaluationButKeepsBookkeeping)
+{
+    SloConfig cfg = tightConfig();
+    cfg.enabled = false;
+    wsva::TraceLog log;
+    SloMonitor slo(cfg);
+    slo.attach(nullptr, &log);
+    slo.onSubmit(1, 0.0, 5);
+    ASSERT_NE(slo.find(1), nullptr); // Span plumbing still works.
+    slo.onComplete(1, 100.0);
+    for (int t = 0; t < 10; ++t)
+        slo.onTick(static_cast<double>(t));
+    EXPECT_FALSE(slo.alertActive());
+    EXPECT_EQ(log.countOf(TraceEventType::SloAlert), 0u);
+    EXPECT_DOUBLE_EQ(slo.burnRate(), 0.0);
+}
+
+TEST(SloMonitor, RetriesKeepTheOriginalSubmitClock)
+{
+    SloMonitor slo(tightConfig());
+    slo.onSubmit(1, 0.0);
+    // A retry does not resubmit; the entry persists until terminal
+    // completion, so latency covers every requeue in between.
+    EXPECT_DOUBLE_EQ(slo.onComplete(1, 42.0), 42.0);
+}
+
+TEST(SloMonitor, ExportJsonIsParsableAndComplete)
+{
+    wsva::MetricsRegistry registry;
+    SloMonitor slo(tightConfig());
+    slo.attach(&registry, nullptr);
+    slo.onSubmit(1, 0.0);
+    slo.onComplete(1, 30.0);
+    slo.onSubmit(2, 5.0);
+    slo.onTick(6.0);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(slo.exportJson(10.0), &doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.numberAt("p99_target_seconds"), 10.0);
+    EXPECT_DOUBLE_EQ(doc.numberAt("completed"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.numberAt("violations"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.numberAt("inflight"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.numberAt("window_p99"), 30.0);
+    EXPECT_DOUBLE_EQ(doc.numberAt("queue_age_seconds"), 5.0);
+    EXPECT_TRUE(doc.has("burn_rate"));
+    EXPECT_TRUE(doc.has("lifetime_p99"));
+    EXPECT_TRUE(doc.has("alert_active"));
+}
+
+} // namespace
+} // namespace wsva::cluster

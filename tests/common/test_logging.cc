@@ -2,8 +2,40 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace wsva {
 namespace {
+
+/** Captures every (tag, message) pair emitted while in scope. */
+class SinkCapture
+{
+  public:
+    SinkCapture()
+    {
+        resetWarnRateLimit();
+        setLogSink([this](const char *tag, const std::string &msg) {
+            lines_.emplace_back(tag, msg);
+        });
+    }
+
+    ~SinkCapture()
+    {
+        resetLogSink();
+        resetWarnRateLimit();
+    }
+
+    const std::vector<std::pair<std::string, std::string>> &
+    lines() const
+    {
+        return lines_;
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> lines_;
+};
 
 TEST(StrFormat, FormatsPlainText)
 {
@@ -46,6 +78,85 @@ TEST(FatalDeathTest, FatalExitsCleanly)
 {
     EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
                 "bad config");
+}
+
+TEST(LogSink, CapturesInformAndWarnWithTags)
+{
+    SinkCapture capture;
+    inform("status %d", 7);
+    warn("odd value %d", 8);
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[0].first, "info");
+    EXPECT_EQ(capture.lines()[0].second, "status 7");
+    EXPECT_EQ(capture.lines()[1].first, "warn");
+    EXPECT_EQ(capture.lines()[1].second, "odd value 8");
+}
+
+TEST(LogSink, ResetRestoresStderrWithoutCrashing)
+{
+    {
+        SinkCapture capture;
+        inform("captured");
+        ASSERT_EQ(capture.lines().size(), 1u);
+    }
+    // After reset the default sink is live again; emitting must not
+    // reach the (destroyed) capture or crash.
+    inform("back to stderr");
+}
+
+TEST(LogSink, ReentrantLoggingFromSinkDoesNotDeadlock)
+{
+    int depth = 0;
+    setLogSink([&depth](const char *, const std::string &) {
+        if (depth == 0) {
+            ++depth;
+            inform("from inside the sink");
+        }
+    });
+    inform("outer");
+    resetLogSink();
+    EXPECT_EQ(depth, 1);
+}
+
+TEST(WarnRateLimit, EmitsPowersOfTenWithSeenCount)
+{
+    SinkCapture capture;
+    for (int i = 0; i < 150; ++i)
+        warn("same message");
+    // 1st, 10th, and 100th occurrences only.
+    ASSERT_EQ(capture.lines().size(), 3u);
+    EXPECT_EQ(capture.lines()[0].second, "same message");
+    EXPECT_EQ(capture.lines()[1].second,
+              "same message (seen 10 times)");
+    EXPECT_EQ(capture.lines()[2].second,
+              "same message (seen 100 times)");
+}
+
+TEST(WarnRateLimit, DistinctMessagesAreNotSuppressed)
+{
+    SinkCapture capture;
+    for (int i = 0; i < 5; ++i)
+        warn("message %d", i);
+    EXPECT_EQ(capture.lines().size(), 5u);
+}
+
+TEST(WarnRateLimit, ResetForgetsHistory)
+{
+    SinkCapture capture;
+    warn("repeat");
+    warn("repeat"); // Suppressed (2nd occurrence).
+    resetWarnRateLimit();
+    warn("repeat"); // Counts as a fresh 1st occurrence again.
+    ASSERT_EQ(capture.lines().size(), 2u);
+    EXPECT_EQ(capture.lines()[1].second, "repeat");
+}
+
+TEST(WarnRateLimit, InformIsNeverRateLimited)
+{
+    SinkCapture capture;
+    for (int i = 0; i < 20; ++i)
+        inform("same status");
+    EXPECT_EQ(capture.lines().size(), 20u);
 }
 
 } // namespace

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * One timeline from upload to macroblock: a single Tracer shared by
+ * the cluster simulator, the transcode pipeline, the dynamic
+ * optimizer, the rate-quality cache, and the hlsim encoder-core model
+ * must export one Chrome trace containing spans from every layer —
+ * and that export must be machine-parsable, not just greppable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "platform/dynamic_optimizer.h"
+#include "platform/pipeline.h"
+#include "platform/rq_cache.h"
+#include "support/mini_json.h"
+#include "vcu/encoder_core.h"
+#include "video/synth.h"
+
+namespace wsva {
+namespace {
+
+using wsva::cluster::ClusterConfig;
+using wsva::cluster::ClusterSim;
+using wsva::cluster::makeMotStep;
+using wsva::testsupport::JsonValue;
+using wsva::testsupport::parseJson;
+using wsva::video::codec::CodecType;
+
+std::vector<wsva::video::Frame>
+tinyClip()
+{
+    wsva::video::SynthSpec spec;
+    spec.width = 80;
+    spec.height = 48;
+    spec.frame_count = 8;
+    spec.detail = 2;
+    spec.objects = 2;
+    spec.motion = 2.0;
+    spec.seed = 11;
+    return generateVideo(spec);
+}
+
+/** Drive every instrumented layer through one shared tracer. */
+void
+exerciseAllLayers(Tracer *tracer)
+{
+    const auto clip = tinyClip();
+
+    // Cluster layer: a seeded sim records upload/queue_wait/execute
+    // spans in sim time.
+    ClusterConfig ccfg;
+    ccfg.hosts = 1;
+    ccfg.vcus_per_host = 2;
+    ccfg.seed = 3;
+    ccfg.tracer = tracer;
+    ClusterSim sim(ccfg);
+    for (uint64_t i = 0; i < 4; ++i)
+        sim.submit(makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+    sim.run(40.0, 1.0);
+
+    // Platform layer: a real (tiny) transcode on the thread pool.
+    wsva::platform::PipelineConfig pcfg;
+    pcfg.encoder.rc_mode = wsva::video::codec::RcMode::ConstQp;
+    pcfg.encoder.base_qp = 36;
+    pcfg.chunk_frames = 4;
+    pcfg.num_threads = 2;
+    pcfg.tracer = tracer;
+    auto result = wsva::platform::transcodeSot(clip, {80, 48},
+                                               CodecType::VP9, pcfg);
+    ASSERT_TRUE(result.integrity_ok) << result.integrity_error;
+
+    // Optimizer + cache layer: a probe burst that misses, then hits.
+    wsva::platform::RqCacheConfig cache_cfg;
+    cache_cfg.tracer = tracer;
+    wsva::platform::RqCache cache(cache_cfg);
+    wsva::platform::DynamicOptimizerConfig ocfg;
+    ocfg.probe_qps = {28, 44};
+    ocfg.num_threads = 1;
+    ocfg.cache = &cache;
+    ocfg.tracer = tracer;
+    ASSERT_NE(rateQualityCurveFor(clip, ocfg), nullptr);
+    ASSERT_NE(rateQualityCurveFor(clip, ocfg), nullptr); // Cache hit.
+
+    // VCU layer: an hlsim stage-model run in cycle time.
+    wsva::vcu::EncoderCoreConfig ecfg;
+    ecfg.tracer = tracer;
+    wsva::vcu::EncoderCoreModel core(ecfg);
+    wsva::vcu::EncodeJob job;
+    job.width = 320;
+    job.height = 180;
+    job.frame_count = 2;
+    core.estimate(job);
+}
+
+TEST(TraceEndToEnd, OneTimelineContainsSpansFromEveryLayer)
+{
+    Tracer tracer(1 << 16);
+    exerciseAllLayers(&tracer);
+
+    std::set<std::string> categories;
+    std::set<std::string> names;
+    for (const auto &rec : tracer.snapshot()) {
+        categories.insert(rec.category);
+        names.insert(rec.name);
+    }
+    EXPECT_TRUE(categories.count("cluster")) << "no cluster spans";
+    EXPECT_TRUE(categories.count("pipeline")) << "no pipeline spans";
+    EXPECT_TRUE(categories.count("optimizer")) << "no optimizer spans";
+    EXPECT_TRUE(categories.count("rq_cache")) << "no rq_cache events";
+    EXPECT_TRUE(categories.count("hlsim")) << "no hlsim spans";
+
+    // The load-bearing span names from each layer.
+    for (const char *expected :
+         {"upload", "queue_wait", "execute", "transcode", "encode_chunk",
+          "build_rq_curve", "probe_encode", "rq_cache.miss",
+          "rq_cache.hit"})
+        EXPECT_TRUE(names.count(expected)) << "missing " << expected;
+}
+
+TEST(TraceEndToEnd, ExportedChromeTraceIsParsableAndWellFormed)
+{
+    Tracer tracer(1 << 16);
+    exerciseAllLayers(&tracer);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(tracer.exportChromeTrace(), &doc, &error))
+        << error;
+    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 1.0);
+    EXPECT_EQ(doc.stringAt("displayTimeUnit"), "ms");
+
+    const JsonValue *events = doc.get("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_GT(events->array.size(), 0u);
+
+    std::set<std::string> cats;
+    for (const auto &ev : events->array) {
+        ASSERT_TRUE(ev.isObject());
+        const std::string ph = ev.stringAt("ph");
+        ASSERT_FALSE(ph.empty());
+        if (ph == "M")
+            continue; // Process metadata carries no cat/ts.
+        EXPECT_TRUE(ev.has("ts"));
+        EXPECT_TRUE(ev.has("pid"));
+        EXPECT_TRUE(ev.has("tid"));
+        cats.insert(ev.stringAt("cat"));
+        if (ph == "X") {
+            EXPECT_TRUE(ev.has("dur"));
+            EXPECT_GE(ev.numberAt("dur"), 0.0);
+        }
+    }
+    for (const char *layer :
+         {"cluster", "pipeline", "optimizer", "rq_cache", "hlsim"})
+        EXPECT_TRUE(cats.count(layer)) << "export lost " << layer;
+}
+
+TEST(TraceEndToEnd, ExecutionSpansParentToTheirUploadSpan)
+{
+    Tracer tracer(1 << 16);
+    ClusterConfig ccfg;
+    ccfg.hosts = 1;
+    ccfg.vcus_per_host = 2;
+    ccfg.seed = 5;
+    ccfg.tracer = &tracer;
+    ClusterSim sim(ccfg);
+    for (uint64_t i = 0; i < 3; ++i)
+        sim.submit(makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+    sim.run(40.0, 1.0);
+
+    std::set<uint64_t> upload_ids;
+    for (const auto &rec : tracer.snapshot())
+        if (std::string(rec.name) == "upload")
+            upload_ids.insert(rec.id);
+    ASSERT_FALSE(upload_ids.empty());
+
+    size_t linked_children = 0;
+    for (const auto &rec : tracer.snapshot()) {
+        const std::string name = rec.name;
+        if (name == "queue_wait" || name == "execute") {
+            EXPECT_TRUE(upload_ids.count(rec.parent))
+                << name << " not parented to an upload span";
+            ++linked_children;
+        }
+    }
+    EXPECT_GE(linked_children, upload_ids.size());
+}
+
+TEST(TraceEndToEnd, SeededClusterTraceIsByteIdentical)
+{
+    auto export_once = [] {
+        ClusterConfig cfg;
+        cfg.hosts = 2;
+        cfg.vcus_per_host = 3;
+        cfg.seed = 9;
+        ClusterSim sim(cfg);
+        for (uint64_t i = 0; i < 6; ++i)
+            sim.submit(
+                makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+        sim.run(60.0, 1.0);
+        return sim.tracer().exportChromeTrace(&sim.traceLog());
+    };
+    const std::string first = export_once();
+    const std::string second = export_once();
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(TraceEndToEnd, ClusterExportJsonCarriesSchemaVersionAndSlo)
+{
+    ClusterConfig cfg;
+    cfg.hosts = 1;
+    cfg.vcus_per_host = 2;
+    cfg.seed = 2;
+    ClusterSim sim(cfg);
+    for (uint64_t i = 0; i < 3; ++i)
+        sim.submit(makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+    sim.run(40.0, 1.0);
+
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(sim.exportJson(), &doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 1.0);
+
+    const JsonValue *slo = doc.get("slo");
+    ASSERT_NE(slo, nullptr);
+    ASSERT_TRUE(slo->isObject());
+    EXPECT_TRUE(slo->has("lifetime_p99"));
+    EXPECT_TRUE(slo->has("window_p99"));
+    EXPECT_TRUE(slo->has("burn_rate"));
+    EXPECT_TRUE(slo->has("alert_active"));
+    EXPECT_DOUBLE_EQ(slo->numberAt("completed"), 3.0);
+
+    const JsonValue *metrics = doc.get("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_DOUBLE_EQ(metrics->numberAt("schema_version"), 1.0);
+}
+
+// Pin the export schema: bumping it must be a conscious act (update
+// the constant here AND in the exporters, and note the change in
+// DESIGN.md), because downstream dashboards key on it.
+TEST(SchemaVersion, MetricsRegistryToJsonIsPinnedAtOne)
+{
+    MetricsRegistry registry;
+    registry.inc("a.counter");
+    JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(registry.toJson(), &doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 1.0);
+    EXPECT_TRUE(doc.has("counters"));
+}
+
+} // namespace
+} // namespace wsva

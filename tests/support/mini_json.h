@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests.
+ *
+ * The exporters in this repo (MetricsRegistry::toJson,
+ * ClusterSim::exportJson, Tracer::exportChromeTrace) emit JSON that
+ * external tools consume; asserting on substrings alone cannot catch
+ * a structurally broken document. This parser is deliberately small
+ * (strict enough for round-trip tests, not a general library): it
+ * handles objects, arrays, strings with the escapes our emitters
+ * produce, numbers, booleans, and null.
+ */
+
+#ifndef WSVA_TESTS_SUPPORT_MINI_JSON_H
+#define WSVA_TESTS_SUPPORT_MINI_JSON_H
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsva::testsupport {
+
+/** One parsed JSON value (a tagged union grown for test assertions). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Object member by key, or nullptr. */
+    const JsonValue *
+    get(const std::string &key) const
+    {
+        if (type != Type::Object)
+            return nullptr;
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+
+    /** True if the object has @p key. */
+    bool has(const std::string &key) const { return get(key) != nullptr; }
+
+    /** Member @p key as a number (0 when absent/mistyped). */
+    double
+    numberAt(const std::string &key) const
+    {
+        const JsonValue *v = get(key);
+        return v != nullptr && v->type == Type::Number ? v->number : 0.0;
+    }
+
+    /** Member @p key as a string ("" when absent/mistyped). */
+    std::string
+    stringAt(const std::string &key) const
+    {
+        const JsonValue *v = get(key);
+        return v != nullptr && v->type == Type::String ? v->str
+                                                       : std::string{};
+    }
+};
+
+namespace detail {
+
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &msg)
+    {
+        if (error_ != nullptr)
+            *error_ = msg + " at offset " + std::to_string(pos_);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        const char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            out->type = JsonValue::Type::String;
+            return parseString(&out->str);
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = true;
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            out->type = JsonValue::Type::Bool;
+            out->boolean = false;
+            pos_ += 5;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            out->type = JsonValue::Type::Null;
+            pos_ += 4;
+            return true;
+        }
+        return parseNumber(out);
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':'");
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value))
+                return false;
+            out->object.emplace(std::move(key), std::move(value));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        out->type = JsonValue::Type::Array;
+        ++pos_; // '['
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(&value))
+                return false;
+            out->array.push_back(std::move(value));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        ++pos_; // '"'
+        out->clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out->push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return fail("dangling escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"': out->push_back('"'); break;
+              case '\\': out->push_back('\\'); break;
+              case '/': out->push_back('/'); break;
+              case 'b': out->push_back('\b'); break;
+              case 'f': out->push_back('\f'); break;
+              case 'n': out->push_back('\n'); break;
+              case 'r': out->push_back('\r'); break;
+              case 't': out->push_back('\t'); break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                const unsigned long code = std::strtoul(
+                    text_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // Our emitters only \u-escape control characters;
+                // anything wider is preserved as '?' (tests do not
+                // assert on such content).
+                out->push_back(code < 0x80
+                                   ? static_cast<char>(code)
+                                   : '?');
+                break;
+              }
+              default: return fail("unknown escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        const size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        char *end = nullptr;
+        const std::string token = text_.substr(start, pos_ - start);
+        out->type = JsonValue::Type::Number;
+        out->number = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number '" + token + "'");
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+} // namespace detail
+
+/**
+ * Parse @p text into @p out. Returns false (with @p error set, when
+ * supplied) on any syntax error.
+ */
+inline bool
+parseJson(const std::string &text, JsonValue *out,
+          std::string *error = nullptr)
+{
+    detail::JsonParser parser(text, error);
+    return parser.parse(out);
+}
+
+} // namespace wsva::testsupport
+
+#endif // WSVA_TESTS_SUPPORT_MINI_JSON_H
