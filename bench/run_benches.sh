@@ -35,3 +35,81 @@ echo "Running bench_observability ..." >&2
 "$build_dir/bench/bench_observability" \
     > "$repo_root/BENCH_observability.json"
 echo "Wrote $repo_root/BENCH_observability.json" >&2
+
+# --- Debug-server end-to-end smoke -----------------------------------
+# Start the demo sim with its z-page server, scrape all five endpoints
+# over real HTTP, and validate /metrics against a minimal Prometheus
+# text-format grammar. Fails loudly if any endpoint breaks.
+if [ -x "$build_dir/examples/cluster_demo" ] && command -v curl >/dev/null; then
+    echo "Running debug-server smoke test ..." >&2
+    demo_log=$(mktemp)
+    "$build_dir/examples/cluster_demo" --duration 1800 --realtime-ms 20 \
+        > "$demo_log" 2>&1 &
+    demo_pid=$!
+    trap 'kill "$demo_pid" 2>/dev/null || true' EXIT
+
+    # The demo prints DEBUG_SERVER_PORT=NNNN once the server is up.
+    port=""
+    tries=0
+    while [ -z "$port" ] && [ "$tries" -lt 50 ]; do
+        port=$(sed -n 's/^DEBUG_SERVER_PORT=\([0-9]*\)$/\1/p' "$demo_log")
+        [ -n "$port" ] || { tries=$((tries + 1)); sleep 0.1; }
+    done
+    [ -n "$port" ] || { echo "demo never printed its port" >&2; exit 1; }
+
+    for page in healthz varz metrics tracez statusz; do
+        if ! curl -sf "http://127.0.0.1:$port/$page" > /dev/null; then
+            echo "endpoint /$page failed" >&2
+            exit 1
+        fi
+    done
+
+    # Minimal Prometheus text-format check: every non-comment line is
+    # `name[{labels}] value` with a legal name, every family has a
+    # TYPE line before its samples.
+    curl -sf "http://127.0.0.1:$port/metrics" | awk '
+        /^#[ ]TYPE[ ]/ { types[$3] = $4; next }
+        /^#/ { next }
+        /^$/ { next }
+        {
+            name = $1
+            sub(/\{.*/, "", name)
+            if (name !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*$/) {
+                print "illegal metric name: " name > "/dev/stderr"
+                exit 1
+            }
+            fam = name
+            sub(/_(bucket|sum|count)$/, "", fam)
+            if (!(name in types) && !(fam in types)) {
+                print "sample before TYPE: " name > "/dev/stderr"
+                exit 1
+            }
+            if ($NF !~ /^[-+0-9.eE]+$|^[+-]Inf$|^NaN$/) {
+                print "bad sample value: " $0 > "/dev/stderr"
+                exit 1
+            }
+        }' || { echo "/metrics failed Prometheus validation" >&2; exit 1; }
+
+    # /statusz counts must reconcile with the fleet size (cluster row:
+    # "cluster  H ok  D deg  Q quar  R rep", fleet = 4 hosts x 10).
+    statusz=$(curl -sf "http://127.0.0.1:$port/statusz")
+    echo "$statusz" | awk '
+        $1 == "cluster" {
+            if ($2 + $4 + $6 + $8 != 40) {
+                print "statusz counts do not partition the fleet" \
+                    > "/dev/stderr"
+                exit 1
+            }
+            found = 1
+        }
+        END { exit found ? 0 : 1 }' \
+        || { echo "/statusz reconciliation failed" >&2; exit 1; }
+
+    kill "$demo_pid" 2>/dev/null || true
+    wait "$demo_pid" 2>/dev/null || true
+    trap - EXIT
+    rm -f "$demo_log"
+    echo "Debug-server smoke test passed (port $port)" >&2
+else
+    echo "Skipping debug-server smoke (no cluster_demo or curl)" >&2
+fi

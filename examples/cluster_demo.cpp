@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Live fleet diagnostics demo: a seeded cluster simulation under
+ * fault injection with the embedded z-page debug server attached.
+ * While the sim ticks, scrape it from another terminal:
+ *
+ *     ./examples/cluster_demo --debug-port 8080
+ *     curl localhost:8080/            # page index
+ *     curl localhost:8080/healthz     # liveness + build info
+ *     curl localhost:8080/varz       # metrics registry (JSON)
+ *     curl localhost:8080/metrics    # Prometheus text exposition
+ *     curl localhost:8080/tracez     # recent spans, p50/p99 by name
+ *     curl localhost:8080/statusz    # fleet-health rollup
+ *
+ * The sim is paced to wall time (--realtime-ms per sim second) so a
+ * human has time to watch the rollup evolve; --realtime-ms 0 runs
+ * flat out, which is what the bench smoke test uses. The bound port
+ * is printed as `DEBUG_SERVER_PORT=NNNN` so scripts can parse it
+ * (port 0 picks an ephemeral one).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/debug_server.h"
+#include "workload/traffic.h"
+
+using namespace wsva;
+using namespace wsva::cluster;
+using namespace wsva::workload;
+
+namespace {
+
+struct Options
+{
+    uint16_t debug_port = 0;    //!< 0 = ephemeral.
+    double duration = 600.0;    //!< Total simulated seconds.
+    double slice = 5.0;         //!< Sim seconds per run() slice.
+    int realtime_ms = 50;       //!< Wall pause per slice (0 = none).
+};
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n", argv[i]);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--debug-port") == 0) {
+            opt.debug_port = static_cast<uint16_t>(std::atoi(value()));
+        } else if (std::strcmp(argv[i], "--duration") == 0) {
+            opt.duration = std::atof(value());
+        } else if (std::strcmp(argv[i], "--realtime-ms") == 0) {
+            opt.realtime_ms = std::atoi(value());
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--debug-port N] [--duration "
+                         "SIM_SECONDS] [--realtime-ms MS]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.vcus_per_host = 10;
+    cfg.hosts_per_rack = 2;
+    cfg.seed = 42;
+    cfg.vcu_hard_fault_per_hour = 0.6;
+    cfg.vcu_silent_fault_per_hour = 0.3;
+    cfg.failure.host_fault_threshold = 4;
+    cfg.failure.repair_seconds = 120.0;
+    cfg.failure.repair_cap = 1;
+    cfg.fleet_publish_every_ticks = 5;
+    cfg.slo.enabled = true;
+    ClusterSim sim(cfg);
+
+    DebugServerConfig server_cfg;
+    server_cfg.port = opt.debug_port;
+    DebugServer server(server_cfg);
+    sim.attachDebugServer(server, "wsva cluster_demo");
+    if (!server.start()) {
+        std::fprintf(stderr, "failed to start debug server\n");
+        return 1;
+    }
+    // Parseable by scripts (the bench smoke test greps this line).
+    std::printf("DEBUG_SERVER_PORT=%u\n", server.port());
+    std::printf("serving /healthz /varz /metrics /tracez /statusz "
+                "on 127.0.0.1:%u for %.0f sim seconds\n",
+                server.port(), opt.duration);
+    std::fflush(stdout);
+
+    UploadTrafficConfig traffic;
+    traffic.uploads_per_second = 1.5;
+    traffic.seed = 7;
+    UploadTraffic gen(traffic);
+    const auto arrivals = gen.asArrivalFn();
+
+    ClusterMetrics total;
+    double simulated = 0.0;
+    while (simulated < opt.duration) {
+        const double slice = std::min(opt.slice,
+                                      opt.duration - simulated);
+        const auto m = sim.run(slice, 1.0, arrivals);
+        simulated += m.sim_seconds;
+        total.steps_completed += m.steps_completed;
+        total.steps_retried += m.steps_retried;
+        total.steps_failed += m.steps_failed;
+        if (opt.realtime_ms > 0)
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(opt.realtime_ms));
+    }
+
+    std::printf("\nsimulated %.0fs: %llu completed, %llu retried, "
+                "%llu hardware failures\n",
+                simulated,
+                static_cast<unsigned long long>(total.steps_completed),
+                static_cast<unsigned long long>(total.steps_retried),
+                static_cast<unsigned long long>(total.steps_failed));
+    std::printf("debug server served %llu requests (%llu shed)\n\n",
+                static_cast<unsigned long long>(
+                    server.requestsServed()),
+                static_cast<unsigned long long>(
+                    server.requestsRejected()));
+
+    // The final rollup, exactly as /statusz rendered it.
+    const auto snap = sim.fleetHealth().snapshot();
+    if (snap != nullptr)
+        std::printf("%s", snap->toText().c_str());
+
+    server.stop();
+    return 0;
+}

@@ -41,6 +41,13 @@ runScenario(bool mitigated, BlastRadiusTracker *blast_out)
     const auto metrics = sim.run(3600.0, 1.0, gen.asArrivalFn());
     if (blast_out)
         *blast_out = sim.blastRadius();
+    // The mitigated run's final fleet rollup, as /statusz shows it.
+    if (mitigated) {
+        const auto snap = sim.fleetHealth().snapshot();
+        if (snap != nullptr)
+            std::printf("final fleet rollup (mitigated run):\n%s\n",
+                        snap->toText().c_str());
+    }
     return metrics;
 }
 

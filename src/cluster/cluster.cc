@@ -3,9 +3,22 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/debug_server.h"
 #include "common/logging.h"
 
 namespace wsva::cluster {
+
+namespace {
+
+/** retries / (completions + retries); 0 when nothing happened yet. */
+double
+retryRate(uint64_t retries, uint64_t completions)
+{
+    const uint64_t denom = retries + completions;
+    return denom > 0 ? static_cast<double>(retries) / denom : 0.0;
+}
+
+} // namespace
 
 ClusterSim::ClusterSim(ClusterConfig cfg)
     : cfg_(cfg), rng_(cfg.seed), repairs_(cfg.failure),
@@ -25,6 +38,8 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     repair_enter_.assign(static_cast<size_t>(cfg_.hosts), -1.0);
     quarantine_enter_.assign(
         static_cast<size_t>(cfg_.hosts * cfg_.vcus_per_host), -1.0);
+    host_retries_.assign(static_cast<size_t>(cfg_.hosts), 0);
+    host_completions_.assign(static_cast<size_t>(cfg_.hosts), 0);
 
     std::vector<Worker *> all_workers;
     int worker_id = 0;
@@ -75,6 +90,10 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
     completed_counter_ = registry_.counterHandle("cluster.steps_completed");
     retried_counter_ = registry_.counterHandle("cluster.steps_retried");
     failed_counter_ = registry_.counterHandle("cluster.steps_failed");
+
+    // Seed the board so /statusz answers before the first rollup tick.
+    if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0)
+        fleet_.publish(buildFleetHealth(clock_));
 }
 
 void
@@ -174,6 +193,7 @@ ClusterSim::manageRepairs(double now)
                         host.workers[v]->abortAll();
                     for (auto &step : aborted) {
                         ++metrics_.steps_retried;
+                        ++host_retries_[static_cast<size_t>(host.id)];
                         retried_counter_.inc();
                         trace_.record(TraceEventType::StepRetried, now,
                                       host.id, host.workers[v]->id(),
@@ -227,6 +247,7 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                 host.id * cfg_.vcus_per_host + static_cast<int>(v);
             const auto retryStep = [&](const TranscodeStep &step) {
                 ++metrics.steps_retried;
+                ++host_retries_[static_cast<size_t>(host.id)];
                 retried_counter_.inc();
                 trace_.record(TraceEventType::StepRetried, now,
                               host.id, w->id(), step.id,
@@ -317,6 +338,8 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                         ++metrics.corrupt_escaped;
                         ++metrics.steps_completed;
                         ++completed_total_;
+                        ++host_completions_[static_cast<size_t>(
+                            host.id)];
                         registry_.inc("cluster.corrupt_escaped");
                         completed_counter_.inc();
                         trace_.record(TraceEventType::StepCompleted,
@@ -333,6 +356,7 @@ ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
                 }
                 ++metrics.steps_completed;
                 ++completed_total_;
+                ++host_completions_[static_cast<size_t>(host.id)];
                 completed_counter_.inc();
                 trace_.record(TraceEventType::StepCompleted, now,
                               host.id, w->id(), outcome.step.id,
@@ -560,11 +584,25 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
         checkConservation(now);
         sampleTick(now);
         slo_.onTick(now);
+        ++ticks_;
+        if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0 &&
+            ticks_ % cfg_.fleet_publish_every_ticks == 0) {
+            fleet_.publish(buildFleetHealth(now));
+            if (registry_.enabled())
+                fleet_.exportGauges(registry_);
+        }
     }
 
     // Final drain of completions right at the horizon.
     collectCompletions(now, metrics_);
     checkConservation(now);
+    // Publish a final rollup so /statusz reflects the drained state
+    // even when the horizon fell between publish ticks.
+    if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0) {
+        fleet_.publish(buildFleetHealth(now));
+        if (registry_.enabled())
+            fleet_.exportGauges(registry_);
+    }
 
     metrics_.sim_seconds = now - start;
     metrics_.mpix_per_vcu = metrics_.output_pixels /
@@ -598,18 +636,137 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
     return metrics_;
 }
 
+FleetHealthSnapshot
+ClusterSim::buildFleetHealth(double now) const
+{
+    FleetHealthSnapshot snap;
+    snap.sim_time = now;
+    snap.tick = ticks_;
+    snap.vcus_per_host = cfg_.vcus_per_host;
+    snap.hosts_per_rack =
+        cfg_.hosts_per_rack > 0 ? cfg_.hosts_per_rack : 1;
+
+    snap.hosts.reserve(hosts_.size());
+    double cluster_util = 0.0;
+    for (const auto &host : hosts_) {
+        NodeHealth node;
+        node.id = host.id;
+        double util = 0.0;
+        for (size_t v = 0; v < host.workers.size(); ++v) {
+            const Worker *w = host.workers[v].get();
+            const VcuHealth &health = host.vcu_health[v];
+            node.counts.add(classifyWorker(host.in_repair,
+                                           w->refused(),
+                                           health.disabled,
+                                           health.silent_fault));
+            util += w->dimensionUtilization(kResEncodeMillicores);
+        }
+        if (!host.workers.empty())
+            node.encoder_utilization =
+                util / static_cast<double>(host.workers.size());
+        node.retries = host_retries_[static_cast<size_t>(host.id)];
+        node.completions =
+            host_completions_[static_cast<size_t>(host.id)];
+        node.retry_rate = retryRate(node.retries, node.completions);
+        snap.cluster.merge(node.counts);
+        cluster_util += util;
+        snap.hosts.push_back(node);
+    }
+
+    // Aggregate hosts into racks (rack id = host id / hosts_per_rack).
+    // Hosts are equal-sized, so rack utilization is a plain mean of
+    // its hosts' means.
+    const int rack_count =
+        (cfg_.hosts + snap.hosts_per_rack - 1) / snap.hosts_per_rack;
+    snap.racks.resize(static_cast<size_t>(rack_count));
+    std::vector<int> rack_hosts(static_cast<size_t>(rack_count), 0);
+    for (const auto &host : snap.hosts) {
+        const size_t r =
+            static_cast<size_t>(host.id / snap.hosts_per_rack);
+        NodeHealth &rack = snap.racks[r];
+        rack.id = static_cast<int>(r);
+        rack.counts.merge(host.counts);
+        rack.encoder_utilization += host.encoder_utilization;
+        rack.retries += host.retries;
+        rack.completions += host.completions;
+        ++rack_hosts[r];
+    }
+    uint64_t retries = 0;
+    uint64_t completions = 0;
+    for (size_t r = 0; r < snap.racks.size(); ++r) {
+        NodeHealth &rack = snap.racks[r];
+        if (rack_hosts[r] > 0)
+            rack.encoder_utilization /= rack_hosts[r];
+        rack.retry_rate = retryRate(rack.retries, rack.completions);
+        retries += rack.retries;
+        completions += rack.completions;
+    }
+
+    if (totalVcus() > 0)
+        snap.encoder_utilization =
+            cluster_util / static_cast<double>(totalVcus());
+    snap.retry_rate = retryRate(retries, completions);
+    snap.backlog = backlog_.size();
+    snap.in_flight = inFlightSteps();
+
+    // SLO surface: the monitor is not thread-safe, so this read is
+    // legal only from the sim thread — which is where
+    // buildFleetHealth runs; scrape threads read the published board.
+    snap.slo_alert_active = slo_.alertActive();
+    snap.slo_burn_rate = slo_.burnRate();
+    snap.slo_window_p99 = slo_.windowP99();
+    snap.slo_queue_age = slo_.queueAge(now);
+    return snap;
+}
+
+void
+ClusterSim::attachDebugServer(wsva::DebugServer &server,
+                              const std::string &build_info)
+{
+    wsva::ZPageSources sources;
+    sources.metrics = &registry_;
+    sources.tracer = tracer_;
+    sources.build_info = build_info;
+    // The handlers run on scrape threads while run() ticks on the sim
+    // thread, so they may only read the double-buffered board (and
+    // immutable config captured by value) — never slo_ or clock_.
+    const FleetHealthBoard *board = &fleet_;
+    sources.statusz = [board] {
+        const auto snap = board->snapshot();
+        if (snap == nullptr)
+            return std::string(
+                "no fleet-health rollup published yet\n");
+        return snap->toText();
+    };
+    const int hosts = cfg_.hosts;
+    const int total_vcus = totalVcus();
+    sources.healthz_extra = [board, hosts, total_vcus] {
+        const auto snap = board->snapshot();
+        return strformat(
+            "\"hosts\": %d, \"total_vcus\": %d, "
+            "\"fleet_publishes\": %llu, \"fleet_healthy\": %llu",
+            hosts, total_vcus,
+            static_cast<unsigned long long>(board->publishes()),
+            static_cast<unsigned long long>(
+                snap != nullptr ? snap->cluster.healthy : 0));
+    };
+    wsva::registerZPages(server, sources);
+}
+
 std::string
 ClusterSim::exportJson(size_t max_trace_events) const
 {
     const ConservationSnapshot snap = conservation();
     // Top-level schema version for bench-JSON consumers; bump on any
-    // structural change to this export.
-    std::string out = "{\n\"schema_version\": 1,\n\"metrics\": ";
+    // structural change to this export. 2: added "fleet_health".
+    std::string out = "{\n\"schema_version\": 2,\n\"metrics\": ";
     out += registry_.toJson();
     out += ",\n\"trace\": ";
     out += trace_.toJson(max_trace_events);
     out += ",\n\"slo\": ";
     out += slo_.exportJson(clock_);
+    out += ",\n\"fleet_health\": ";
+    out += buildFleetHealth(clock_).toJson();
     out += strformat(
         ",\n\"conservation\": {\"submitted\": %llu, "
         "\"completed\": %llu, \"failed_terminal\": %llu, "

@@ -19,6 +19,7 @@
 
 #include "cluster/consistent_hash.h"
 #include "cluster/failure.h"
+#include "cluster/fleet_health.h"
 #include "cluster/scheduler.h"
 #include "cluster/slo.h"
 #include "cluster/work.h"
@@ -27,6 +28,10 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/trace.h"
+
+namespace wsva {
+class DebugServer;
+} // namespace wsva
 
 namespace wsva::cluster {
 
@@ -111,6 +116,24 @@ struct ClusterConfig
 
     /** End-to-end upload latency SLO monitoring. */
     SloConfig slo;
+
+    /**
+     * Hosts per rack for the fleet-health hierarchy (rack id =
+     * host id / hosts_per_rack). Purely an aggregation grouping; it
+     * does not affect scheduling.
+     */
+    int hosts_per_rack = 2;
+
+    /**
+     * Publish a fleet-health rollup snapshot every N ticks (0 = off).
+     * The rollup is double-buffered, so /statusz scrapes never block
+     * the sim tick; gated by `observability` like the registry. The
+     * default matches SloConfig::gauge_every_ticks (and the usual
+     * Prometheus scrape interval at 1 s ticks), so the rollup reuses
+     * the windowed-p99 materialization the gauge path already paid
+     * for on the same tick.
+     */
+    size_t fleet_publish_every_ticks = 15;
 
     uint64_t seed = 1;
 };
@@ -235,6 +258,27 @@ class ClusterSim
     /** The SLO monitor. */
     const SloMonitor &slo() const { return slo_; }
 
+    /** The double-buffered fleet-health board (/statusz source). */
+    const FleetHealthBoard &fleetHealth() const { return fleet_; }
+
+    /**
+     * Build a fleet-health rollup of the current state (worker ->
+     * host -> rack -> cluster). Called from the sim thread; scrape
+     * threads read the published board instead.
+     */
+    FleetHealthSnapshot buildFleetHealth(double now) const;
+
+    /**
+     * Register the five standard z-pages on @p server: /healthz,
+     * /varz, /metrics, /tracez, and /statusz (fed from the published
+     * fleet-health rollup). The handlers only touch state that is
+     * safe to read while run() executes on another thread — stop the
+     * server before destroying the sim.
+     */
+    void attachDebugServer(wsva::DebugServer &server,
+                           const std::string &build_info = "wsva "
+                                                           "cluster");
+
     /** Current step ledger (valid between ticks and after run()). */
     ConservationSnapshot conservation() const;
 
@@ -244,7 +288,8 @@ class ClusterSim
     /**
      * JSON dump of the whole observability state: registry metrics,
      * the last @p max_trace_events trace events (plus lifetime event
-     * counts), and the conservation ledger.
+     * counts), the fleet-health rollup, and the conservation ledger.
+     * schema_version 2 added "fleet_health".
      */
     std::string exportJson(size_t max_trace_events = 256) const;
 
@@ -274,6 +319,13 @@ class ClusterSim
     wsva::Tracer own_tracer_;
     wsva::Tracer *tracer_ = nullptr; //!< cfg_.tracer or &own_tracer_.
     SloMonitor slo_;
+    FleetHealthBoard fleet_;
+    uint64_t ticks_ = 0; //!< Lifetime tick count (rollup cadence).
+
+    // Lifetime per-host retry/completion counts feeding the rollup's
+    // per-level retry rates (indexed by host id).
+    std::vector<uint64_t> host_retries_;
+    std::vector<uint64_t> host_completions_;
 
     // Open lifecycle intervals, closed into sim spans when they end
     // (-1 = none open). Indexed by host id / global worker id.

@@ -58,6 +58,7 @@ SloMonitor::onComplete(uint64_t step_id, double now)
         window_latencies_.emplace_back(tick_, latency);
         if (latency > cfg_.p99_target_seconds)
             ++over_target_in_window_;
+        p99_dirty_ = true;
     }
     return latency;
 }
@@ -65,8 +66,17 @@ SloMonitor::onComplete(uint64_t step_id, double now)
 double
 SloMonitor::windowP99() const
 {
-    if (window_latencies_.empty())
+    // Memoized until the window mutates: the gauge decimation, the
+    // fleet-health rollup, and the JSON export all want this value on
+    // the same tick, and only the first caller should pay the O(n)
+    // selection.
+    if (!p99_dirty_)
+        return p99_cached_;
+    p99_dirty_ = false;
+    if (window_latencies_.empty()) {
+        p99_cached_ = 0.0;
         return 0.0;
+    }
     // Nearest-rank p99 over the window: exact, deterministic, and
     // independent of histogram binning. Computed on demand (exports,
     // the decimated gauge) — the per-tick alert path uses the O(1)
@@ -81,7 +91,8 @@ SloMonitor::windowP99() const
     std::nth_element(p99_scratch_.begin(),
                      p99_scratch_.begin() + static_cast<long>(rank),
                      p99_scratch_.end());
-    return p99_scratch_[rank];
+    p99_cached_ = p99_scratch_[rank];
+    return p99_cached_;
 }
 
 double
@@ -120,6 +131,7 @@ SloMonitor::onTick(double now)
         if (window_latencies_.front().second > cfg_.p99_target_seconds)
             --over_target_in_window_;
         window_latencies_.pop_front();
+        p99_dirty_ = true;
     }
 
     // Burning iff the windowed nearest-rank p99 exceeds the target.

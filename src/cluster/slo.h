@@ -175,6 +175,11 @@ class SloMonitor
     size_t over_target_in_window_ = 0;
     // Scratch for on-demand windowP99(); reused across calls.
     mutable std::vector<double> p99_scratch_;
+    // windowP99() memo: valid until the window mutates (a completion
+    // lands or a tick evicts), so the gauge decimation, the fleet
+    // rollup, and exports on the same tick share one materialization.
+    mutable bool p99_dirty_ = true;
+    mutable double p99_cached_ = 0.0;
     // One flag per recent tick: was the windowed p99 over target?
     std::deque<bool> window_burning_;
     // Count of true flags in window_burning_, kept incrementally so

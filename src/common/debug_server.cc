@@ -1,0 +1,438 @@
+#include "common/debug_server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace wsva {
+
+namespace {
+
+const char *
+statusReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 503: return "Service Unavailable";
+      default: return "Unknown";
+    }
+}
+
+void
+setIoTimeout(int fd, double seconds)
+{
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/** Blocking full send with MSG_NOSIGNAL (a dead peer must not raise
+ *  SIGPIPE in the instrumented process). */
+bool
+sendAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n = ::send(fd, data.data() + off,
+                                 data.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+DebugServer::DebugServer(DebugServerConfig cfg) : cfg_(std::move(cfg))
+{
+    WSVA_ASSERT(cfg_.handler_threads > 0,
+                "debug server needs at least one handler thread");
+}
+
+DebugServer::~DebugServer()
+{
+    stop();
+}
+
+void
+DebugServer::addPage(const std::string &path, const std::string &help,
+                     DebugHandler handler)
+{
+    WSVA_ASSERT(!path.empty() && path[0] == '/',
+                "debug page path must start with '/': %s", path.c_str());
+    std::lock_guard<std::mutex> lock(pages_mutex_);
+    pages_[path] = Page{help, std::move(handler)};
+}
+
+bool
+DebugServer::start()
+{
+    if (running())
+        return true;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        warn("debug server: socket() failed: %s", std::strerror(errno));
+        return false;
+    }
+    const int one = 1;
+    setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+        warn("debug server: bad bind address '%s'",
+             cfg_.bind_address.c_str());
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        warn("debug server: bind(%s:%u) failed: %s",
+             cfg_.bind_address.c_str(), cfg_.port,
+             std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+    if (::listen(listen_fd_, 16) != 0) {
+        warn("debug server: listen() failed: %s", std::strerror(errno));
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return false;
+    }
+
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr *>(&bound),
+                      &len) == 0)
+        bound_port_ = ntohs(bound.sin_port);
+
+    stopping_.store(false, std::memory_order_release);
+    running_.store(true, std::memory_order_release);
+    accept_thread_ = std::thread([this] { acceptLoop(); });
+    handlers_.reserve(static_cast<size_t>(cfg_.handler_threads));
+    for (int i = 0; i < cfg_.handler_threads; ++i)
+        handlers_.emplace_back([this] { handlerLoop(); });
+    return true;
+}
+
+void
+DebugServer::stop()
+{
+    if (!running())
+        return;
+    stopping_.store(true, std::memory_order_release);
+    if (accept_thread_.joinable())
+        accept_thread_.join();
+    {
+        // Wake the handler pool; it drains whatever is queued first.
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        queue_cv_.notify_all();
+    }
+    for (auto &t : handlers_)
+        if (t.joinable())
+            t.join();
+    handlers_.clear();
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+    running_.store(false, std::memory_order_release);
+}
+
+void
+DebugServer::acceptLoop()
+{
+    // poll() with a short timeout so the stop flag is observed
+    // promptly; a bare blocking accept() would pin shutdown on the
+    // next connection.
+    while (!stopping_.load(std::memory_order_acquire)) {
+        pollfd pfd{};
+        pfd.fd = listen_fd_;
+        pfd.events = POLLIN;
+        const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+        if (ready <= 0)
+            continue;
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        setIoTimeout(fd, cfg_.io_timeout_seconds);
+        bool enqueued = false;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            if (pending_.size() < cfg_.max_pending) {
+                pending_.push_back(fd);
+                enqueued = true;
+                queue_cv_.notify_one();
+            }
+        }
+        if (!enqueued) {
+            // Bounded backpressure: better to shed a scrape than to
+            // buffer connections without limit.
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            sendAll(fd, "HTTP/1.1 503 Service Unavailable\r\n"
+                        "Content-Length: 0\r\nConnection: close\r\n\r\n");
+            ::close(fd);
+        }
+    }
+}
+
+void
+DebugServer::handlerLoop()
+{
+    while (true) {
+        int fd = -1;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return !pending_.empty() ||
+                       stopping_.load(std::memory_order_acquire);
+            });
+            if (pending_.empty())
+                return; // Stopping and drained.
+            fd = pending_.front();
+            pending_.pop_front();
+        }
+        serveConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+DebugServer::serveConnection(int fd)
+{
+    // Read until the end of the request head (we ignore any body —
+    // these are GET pages).
+    std::string request;
+    char buf[1024];
+    while (request.find("\r\n\r\n") == std::string::npos &&
+           request.size() < cfg_.max_request_bytes) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            break;
+        request.append(buf, static_cast<size_t>(n));
+    }
+
+    DebugResponse resp;
+    const size_t line_end = request.find("\r\n");
+    std::string method;
+    std::string path;
+    if (line_end != std::string::npos) {
+        const std::string line = request.substr(0, line_end);
+        const size_t sp1 = line.find(' ');
+        const size_t sp2 =
+            sp1 == std::string::npos ? std::string::npos
+                                     : line.find(' ', sp1 + 1);
+        if (sp1 != std::string::npos && sp2 != std::string::npos) {
+            method = line.substr(0, sp1);
+            path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+            const size_t query = path.find('?');
+            if (query != std::string::npos)
+                path.resize(query);
+        }
+    }
+    if (method.empty() || path.empty()) {
+        resp.status = 400;
+        resp.body = "malformed request\n";
+    } else {
+        resp = dispatch(method, path);
+    }
+
+    std::string head = strformat(
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+        "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+        resp.status, statusReason(resp.status),
+        resp.content_type.c_str(), resp.body.size());
+    if (sendAll(fd, head))
+        sendAll(fd, resp.body);
+    served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DebugResponse
+DebugServer::dispatch(const std::string &method, const std::string &path)
+{
+    DebugResponse resp;
+    if (method != "GET") {
+        resp.status = 405;
+        resp.body = "only GET is supported\n";
+        return resp;
+    }
+    if (path == "/")
+        return indexPage();
+    DebugHandler handler;
+    {
+        std::lock_guard<std::mutex> lock(pages_mutex_);
+        auto it = pages_.find(path);
+        if (it != pages_.end())
+            handler = it->second.handler;
+    }
+    if (!handler) {
+        resp.status = 404;
+        resp.body = "no such page: " + path + "\n";
+        DebugResponse index = indexPage();
+        resp.body += index.body;
+        return resp;
+    }
+    return handler(path);
+}
+
+DebugResponse
+DebugServer::indexPage() const
+{
+    DebugResponse resp;
+    resp.body = "wsva debug server\n\npages:\n";
+    std::lock_guard<std::mutex> lock(pages_mutex_);
+    for (const auto &[path, page] : pages_)
+        resp.body += strformat("  %-10s %s\n", path.c_str(),
+                               page.help.c_str());
+    return resp;
+}
+
+std::string
+renderTracez(const Tracer &tracer)
+{
+    struct Group
+    {
+        uint64_t count = 0;
+        std::vector<double> durations;
+    };
+    // Snapshot copies under the tracer's own lock; everything after
+    // is local and cannot race the recording threads.
+    const std::vector<SpanRecord> spans = tracer.snapshot();
+    std::map<std::pair<int, std::string>, Group> groups;
+    for (const auto &rec : spans) {
+        if (rec.instant)
+            continue;
+        Group &g = groups[{static_cast<int>(rec.clock), rec.name}];
+        ++g.count;
+        g.durations.push_back(std::max(0.0, rec.end_us - rec.begin_us));
+    }
+
+    const auto quantile = [](std::vector<double> &v, double q) {
+        if (v.empty())
+            return 0.0;
+        const size_t rank = std::min(
+            v.size() - 1,
+            static_cast<size_t>(q * static_cast<double>(v.size())));
+        std::nth_element(v.begin(), v.begin() + static_cast<long>(rank),
+                         v.end());
+        return v[rank];
+    };
+
+    std::string out = strformat(
+        "tracez: recent spans (retained %zu, recorded %llu, "
+        "dropped %llu)\n\n",
+        spans.size(), static_cast<unsigned long long>(tracer.recorded()),
+        static_cast<unsigned long long>(tracer.dropped()));
+    out += strformat("%-28s %-5s %10s %12s %12s\n", "span", "clock",
+                     "count", "p50", "p99");
+    for (auto &[key, g] : groups) {
+        const bool wall = key.first == static_cast<int>(SpanClock::Wall);
+        // Wall spans are recorded in microseconds; sim spans carry
+        // sim-seconds * 1e6 on the shared Chrome timeline.
+        const double p50 = quantile(g.durations, 0.50);
+        const double p99 = quantile(g.durations, 0.99);
+        if (wall) {
+            out += strformat("%-28s %-5s %10llu %10.3fms %10.3fms\n",
+                             key.second.c_str(), "wall",
+                             static_cast<unsigned long long>(g.count),
+                             p50 / 1e3, p99 / 1e3);
+        } else {
+            out += strformat("%-28s %-5s %10llu %11.3fs %11.3fs\n",
+                             key.second.c_str(), "sim",
+                             static_cast<unsigned long long>(g.count),
+                             p50 / 1e6, p99 / 1e6);
+        }
+    }
+    if (groups.empty())
+        out += "(no spans recorded)\n";
+    return out;
+}
+
+void
+registerZPages(DebugServer &server, ZPageSources sources)
+{
+    const std::string build =
+        sources.build_info.empty() ? "wsva" : sources.build_info;
+    auto healthz_extra = sources.healthz_extra;
+    server.addPage(
+        "/healthz", "liveness + build/schema info",
+        [build, healthz_extra](const std::string &) {
+            DebugResponse resp;
+            resp.content_type = "application/json";
+            resp.body = "{\"status\": \"ok\", \"build\": \"" + build +
+                        "\", \"metrics_schema_version\": 1";
+            if (healthz_extra) {
+                const std::string extra = healthz_extra();
+                if (!extra.empty())
+                    resp.body += ", " + extra;
+            }
+            resp.body += "}\n";
+            return resp;
+        });
+
+    if (sources.metrics != nullptr) {
+        const MetricsRegistry *metrics = sources.metrics;
+        server.addPage("/varz", "metrics registry (JSON)",
+                       [metrics](const std::string &) {
+                           DebugResponse resp;
+                           resp.content_type = "application/json";
+                           resp.body = metrics->toJson();
+                           resp.body += '\n';
+                           return resp;
+                       });
+        server.addPage(
+            "/metrics", "Prometheus text exposition",
+            [metrics](const std::string &) {
+                DebugResponse resp;
+                resp.content_type =
+                    "text/plain; version=0.0.4; charset=utf-8";
+                resp.body = metrics->toPrometheusText();
+                return resp;
+            });
+    }
+
+    if (sources.tracer != nullptr) {
+        const Tracer *tracer = sources.tracer;
+        server.addPage("/tracez", "recent spans by name (p50/p99)",
+                       [tracer](const std::string &) {
+                           DebugResponse resp;
+                           resp.body = renderTracez(*tracer);
+                           return resp;
+                       });
+    }
+
+    if (sources.statusz) {
+        auto statusz = sources.statusz;
+        server.addPage("/statusz", "human-readable cluster status",
+                       [statusz](const std::string &) {
+                           DebugResponse resp;
+                           resp.body = statusz();
+                           return resp;
+                       });
+    }
+}
+
+} // namespace wsva

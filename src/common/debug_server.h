@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Embedded z-page debug server: live diagnostics for long-running
+ * sims and benches, the way production services expose /varz,
+ * /statusz, and /tracez.
+ *
+ * Every view of the observability substrate used to be a post-mortem
+ * JSON dump; operating a fleet (Section 4.4's quarantine / repair /
+ * blast-radius story) needs the scrape-while-running layer. This is a
+ * deliberately small HTTP/1.1 server: one accept thread, a bounded
+ * handler pool, GET-only, Connection: close, bound to localhost by
+ * default. It serves whatever pages are registered; registerZPages()
+ * wires the standard five (/healthz, /varz, /metrics, /tracez,
+ * /statusz) from the in-process MetricsRegistry / Tracer plus
+ * caller-supplied status sources.
+ *
+ * Concurrency contract: handlers run on the handler pool while the
+ * instrumented program keeps running, so they must only touch
+ * thread-safe state (the registry and tracer copy under their own
+ * locks; /statusz reads a double-buffered fleet-health snapshot).
+ * The server never blocks the instrumented hot path: a scrape that
+ * arrives while all handlers are busy waits in a bounded queue and is
+ * rejected with 503 once the queue is full.
+ */
+
+#ifndef WSVA_COMMON_DEBUG_SERVER_H
+#define WSVA_COMMON_DEBUG_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace wsva {
+
+class MetricsRegistry;
+class Tracer;
+
+/** Debug-server configuration. */
+struct DebugServerConfig
+{
+    /**
+     * Bind address. The default keeps the server reachable only from
+     * the local host — these pages expose internals and carry no
+     * authentication, exactly like production *z pages behind a
+     * loopback-only admin port.
+     */
+    std::string bind_address = "127.0.0.1";
+
+    /** TCP port; 0 picks an ephemeral port (see port()). */
+    uint16_t port = 0;
+
+    /** Handler pool size (concurrent scrapes served). */
+    int handler_threads = 2;
+
+    /** Accepted connections queued beyond the pool before 503s. */
+    size_t max_pending = 16;
+
+    /** Request size cap; larger requests get 400. */
+    size_t max_request_bytes = 8192;
+
+    /** Per-connection socket read/write timeout, seconds. */
+    double io_timeout_seconds = 5.0;
+};
+
+/** One HTTP response from a page handler. */
+struct DebugResponse
+{
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/**
+ * Page handler. Receives the request path with the query string
+ * stripped; runs on a handler-pool thread.
+ */
+using DebugHandler = std::function<DebugResponse(const std::string &path)>;
+
+/**
+ * The embedded HTTP server. Pages are registered up front (or at any
+ * time; the table is locked), then start() binds, listens, and spawns
+ * the accept thread plus the handler pool. stop() is graceful: the
+ * accept loop quits, queued connections drain, handler threads join.
+ * The destructor stops the server, but handlers capture raw pointers
+ * into the instrumented program — stop the server before tearing
+ * down whatever the handlers read.
+ */
+class DebugServer
+{
+  public:
+    explicit DebugServer(DebugServerConfig cfg = {});
+    ~DebugServer();
+
+    DebugServer(const DebugServer &) = delete;
+    DebugServer &operator=(const DebugServer &) = delete;
+
+    /**
+     * Register @p handler for exact path @p path (must start with
+     * '/'). @p help is one line shown on the "/" index page.
+     * Re-registering a path replaces its handler.
+     */
+    void addPage(const std::string &path, const std::string &help,
+                 DebugHandler handler);
+
+    /**
+     * Bind + listen + spawn threads. Returns false (with a warn) when
+     * the socket cannot be bound; the server stays stopped.
+     */
+    bool start();
+
+    /** Graceful shutdown; idempotent. */
+    void stop();
+
+    bool running() const
+    {
+        return running_.load(std::memory_order_acquire);
+    }
+
+    /** The bound port (the actual one when configured port was 0). */
+    uint16_t port() const { return bound_port_; }
+
+    /** Requests answered (any status except queue-full 503s). */
+    uint64_t requestsServed() const
+    {
+        return served_.load(std::memory_order_relaxed);
+    }
+
+    /** Connections rejected because the pending queue was full. */
+    uint64_t requestsRejected() const
+    {
+        return rejected_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void acceptLoop();
+    void handlerLoop();
+    void serveConnection(int fd);
+    DebugResponse dispatch(const std::string &method,
+                           const std::string &path);
+    DebugResponse indexPage() const;
+
+    DebugServerConfig cfg_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    int listen_fd_ = -1;
+    uint16_t bound_port_ = 0;
+    std::thread accept_thread_;
+    std::vector<std::thread> handlers_;
+
+    mutable std::mutex pages_mutex_;
+    struct Page
+    {
+        std::string help;
+        DebugHandler handler;
+    };
+    std::map<std::string, Page> pages_;
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_; //!< Accepted fds awaiting a handler.
+
+    std::atomic<uint64_t> served_{0};
+    std::atomic<uint64_t> rejected_{0};
+};
+
+/**
+ * Sources for the standard z-pages. Every pointer is optional and
+ * not owned; pages whose source is missing are simply not
+ * registered. The callbacks run on handler threads and must be
+ * thread-safe against the instrumented program.
+ */
+struct ZPageSources
+{
+    /** /varz (JSON) and /metrics (Prometheus text). */
+    const MetricsRegistry *metrics = nullptr;
+
+    /** /tracez: recent spans grouped by name with latency table. */
+    const Tracer *tracer = nullptr;
+
+    /** /statusz body (human-readable status; plain text). */
+    std::function<std::string()> statusz;
+
+    /** Extra JSON fields spliced into /healthz ("key": value, ...). */
+    std::function<std::string()> healthz_extra;
+
+    /** Free-form build/binary identification shown on /healthz. */
+    std::string build_info;
+};
+
+/** Register the standard pages (/healthz, /varz, /metrics, /tracez,
+ *  /statusz — each only when its source is present). */
+void registerZPages(DebugServer &server, ZPageSources sources);
+
+/**
+ * Render the /tracez body: retained spans grouped by (clock domain,
+ * name) with count and p50/p99 latency, plus the tracer's
+ * recorded/dropped totals. Wall spans report milliseconds; sim spans
+ * report simulated seconds.
+ */
+std::string renderTracez(const Tracer &tracer);
+
+} // namespace wsva
+
+#endif // WSVA_COMMON_DEBUG_SERVER_H

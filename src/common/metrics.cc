@@ -1,6 +1,8 @@
 #include "common/metrics.h"
 
 #include <algorithm>
+#include <initializer_list>
+#include <set>
 
 #include "common/logging.h"
 
@@ -20,6 +22,103 @@ appendJsonString(std::string &out, const std::string &s)
         out += c;
     }
     out += '"';
+}
+
+} // namespace
+
+std::string
+sanitizePrometheusName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (char c : name) {
+        const bool legal = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += legal ? c : '_';
+    }
+    if (out.empty() || (out[0] >= '0' && out[0] <= '9'))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+namespace {
+
+/**
+ * Claims exposition family names, resolving post-sanitization
+ * collisions with deterministic numeric suffixes. A histogram family
+ * implicitly owns its `_bucket`/`_sum`/`_count` series, so those are
+ * claimed alongside the base name — a counter named "x_count" and a
+ * histogram named "x" cannot collide in the output.
+ */
+class PrometheusNamer
+{
+  public:
+    /** Claim a family name for @p original (empty extra set). */
+    std::string claim(const std::string &original)
+    {
+        return claimWithSuffixes(original, {});
+    }
+
+    /** Claim a histogram family (base + _bucket/_sum/_count). */
+    std::string claimHistogram(const std::string &original)
+    {
+        return claimWithSuffixes(original, {"_bucket", "_sum", "_count"});
+    }
+
+  private:
+    std::string claimWithSuffixes(const std::string &original,
+                                  std::initializer_list<const char *> tails)
+    {
+        const std::string base = sanitizePrometheusName(original);
+        std::string candidate = base;
+        for (int n = 2; !available(candidate, tails); ++n)
+            candidate = base + "_" + std::to_string(n);
+        take(candidate, tails);
+        return candidate;
+    }
+
+    bool available(const std::string &candidate,
+                   std::initializer_list<const char *> tails) const
+    {
+        if (taken_.count(candidate))
+            return false;
+        for (const char *tail : tails)
+            if (taken_.count(candidate + tail))
+                return false;
+        return true;
+    }
+
+    void take(const std::string &candidate,
+              std::initializer_list<const char *> tails)
+    {
+        taken_.insert(candidate);
+        for (const char *tail : tails)
+            taken_.insert(candidate + tail);
+    }
+
+    std::set<std::string> taken_;
+};
+
+/** Append "# HELP"/"# TYPE" lines (HELP text escapes \ and \n). */
+void
+appendPrometheusHeader(std::string &out, const std::string &name,
+                       const char *type, const std::string &original)
+{
+    out += "# HELP " + name + " wsva ";
+    out += type;
+    out += " '";
+    for (char c : original) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    out += "'\n# TYPE " + name + " ";
+    out += type;
+    out += '\n';
 }
 
 } // namespace
@@ -210,6 +309,77 @@ MetricsRegistry::toJson() const
     return out;
 }
 
+std::string
+MetricsRegistry::toPrometheusText() const
+{
+    // Copy the metric state under the lock, format outside it: a
+    // scrape must never stall inc()/setGauge()/observe() for the
+    // duration of string formatting.
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram>> histograms;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        counters.reserve(counters_.size());
+        for (const auto &[name, value] : counters_)
+            counters.emplace_back(name,
+                                  value.load(std::memory_order_relaxed));
+        gauges.reserve(gauges_.size());
+        for (const auto &[name, value] : gauges_)
+            gauges.emplace_back(name, value);
+        histograms.reserve(histograms_.size());
+        for (const auto &[name, h] : histograms_)
+            histograms.emplace_back(name, h);
+    }
+
+    // Family names are claimed in a fixed order (counters, gauges,
+    // histograms; each alphabetical from the source std::map), so the
+    // collision suffixes are deterministic run to run.
+    PrometheusNamer namer;
+    std::string out;
+    for (const auto &[original, value] : counters) {
+        const std::string name = namer.claim(original);
+        appendPrometheusHeader(out, name, "counter", original);
+        out += name +
+               strformat(" %llu\n",
+                         static_cast<unsigned long long>(value));
+    }
+    for (const auto &[original, value] : gauges) {
+        const std::string name = namer.claim(original);
+        appendPrometheusHeader(out, name, "gauge", original);
+        out += name + strformat(" %.9g\n", value);
+    }
+    for (const auto &[original, h] : histograms) {
+        const std::string name = namer.claimHistogram(original);
+        appendPrometheusHeader(out, name, "histogram", original);
+        // Cumulative buckets over the bin upper edges. Underflow
+        // (samples below lo) belongs in every bucket; overflow only
+        // in +Inf.
+        uint64_t cumulative = h.underflow();
+        double sum = static_cast<double>(h.underflow()) * h.lo();
+        for (size_t i = 0; i < h.bins(); ++i) {
+            cumulative += h.binCount(i);
+            const double upper = h.lo() + h.binWidth() *
+                                              static_cast<double>(i + 1);
+            out += name +
+                   strformat("_bucket{le=\"%.9g\"} %llu\n", upper,
+                             static_cast<unsigned long long>(cumulative));
+            const double mid = h.lo() + h.binWidth() *
+                                            (static_cast<double>(i) + 0.5);
+            sum += static_cast<double>(h.binCount(i)) * mid;
+        }
+        sum += static_cast<double>(h.overflow()) * h.hi();
+        out += name +
+               strformat("_bucket{le=\"+Inf\"} %llu\n",
+                         static_cast<unsigned long long>(h.count()));
+        out += name + strformat("_sum %.9g\n", sum);
+        out += name +
+               strformat("_count %llu\n",
+                         static_cast<unsigned long long>(h.count()));
+    }
+    return out;
+}
+
 const char *
 traceEventTypeName(TraceEventType type)
 {
@@ -321,25 +491,42 @@ TraceLog::clear()
 std::string
 TraceLog::toJson(size_t max_events) const
 {
-    std::lock_guard<SpinLock> lock(mutex_);
+    // The record path spins on this lock from every worker; holding
+    // it while formatting the whole document turned a scrape into a
+    // cluster-wide stall (handler-pool threads serving /varz burned
+    // the sim's CPU). Copy the state out first; format unlocked.
+    uint64_t recorded = 0;
+    uint64_t dropped = 0;
+    std::array<uint64_t, kTraceEventTypeCount> counts{};
+    std::vector<TraceEvent> events;
+    {
+        std::lock_guard<SpinLock> lock(mutex_);
+        recorded = recorded_;
+        dropped = dropped_;
+        counts = counts_;
+        const size_t n = std::min(max_events, events_.size());
+        events.reserve(n);
+        const size_t start =
+            n == 0 ? 0 : (next_ + events_.size() - n) % events_.size();
+        for (size_t i = 0; i < n; ++i)
+            events.push_back(events_[(start + i) % events_.size()]);
+    }
+
     std::string out = strformat(
         "{\n  \"recorded\": %llu,\n  \"dropped\": %llu,\n"
         "  \"counts\": {",
-        static_cast<unsigned long long>(recorded_),
-        static_cast<unsigned long long>(dropped_));
-    for (size_t i = 0; i < counts_.size(); ++i) {
+        static_cast<unsigned long long>(recorded),
+        static_cast<unsigned long long>(dropped));
+    for (size_t i = 0; i < counts.size(); ++i) {
         out += i == 0 ? "\n    " : ",\n    ";
         appendJsonString(
             out, traceEventTypeName(static_cast<TraceEventType>(i)));
         out += strformat(": %llu",
-                         static_cast<unsigned long long>(counts_[i]));
+                         static_cast<unsigned long long>(counts[i]));
     }
     out += "\n  },\n  \"events\": [";
-    const size_t n = std::min(max_events, events_.size());
-    const size_t start =
-        n == 0 ? 0 : (next_ + events_.size() - n) % events_.size();
-    for (size_t i = 0; i < n; ++i) {
-        const TraceEvent &e = events_[(start + i) % events_.size()];
+    for (size_t i = 0; i < events.size(); ++i) {
+        const TraceEvent &e = events[i];
         out += i == 0 ? "\n    " : ",\n    ";
         out += strformat(
             "{\"t\": %.6g, \"type\": \"%s\", \"host\": %d, "

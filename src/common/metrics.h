@@ -38,6 +38,16 @@ namespace wsva {
 using TimeSample = std::pair<double, double>;
 
 /**
+ * Rewrite @p name into a legal Prometheus metric name
+ * ([a-zA-Z_:][a-zA-Z0-9_:]*): every illegal character (the registry's
+ * `.` separators, `-`, `/`, ...) becomes `_`, a leading digit gets a
+ * `_` prefix, and an empty name becomes `_`. Distinct inputs can
+ * collide after rewriting; MetricsRegistry::toPrometheusText()
+ * resolves those with deterministic `_2`, `_3`, ... suffixes.
+ */
+std::string sanitizePrometheusName(const std::string &name);
+
+/**
  * Minimal spinlock for hot, uncontended, short critical sections
  * (the trace-log record path). Satisfies BasicLockable.
  */
@@ -161,6 +171,23 @@ class MetricsRegistry
      */
     std::string toJson() const;
 
+    /**
+     * Prometheus text exposition (format 0.0.4) of the registry:
+     * counters, gauges, and histograms with HELP/TYPE lines. Names
+     * are sanitized (see sanitizePrometheusName) and collisions are
+     * resolved deterministically with numeric suffixes, so two
+     * registry names never share an exposition family. Histogram
+     * buckets are cumulative over the bin upper edges (underflow
+     * lands in the first bucket, "+Inf" equals the total count) and
+     * the `_sum` is estimated from bin midpoints — the same
+     * approximation Histogram::quantile uses. Time series are NOT
+     * exported: Prometheus derives history by scraping the gauges.
+     * The registry lock is held only while copying metric state;
+     * formatting happens outside it, so a scrape cannot stall the
+     * record paths.
+     */
+    std::string toPrometheusText() const;
+
   private:
     struct Series
     {
@@ -254,7 +281,9 @@ class TraceLog
 
     /**
      * JSON object with lifetime per-type "counts" and the last
-     * @p max_events retained "events".
+     * @p max_events retained "events". The ring lock is held only
+     * while copying the events out; formatting runs unlocked so a
+     * concurrent scrape cannot stall the record path.
      */
     std::string toJson(size_t max_events = 256) const;
 

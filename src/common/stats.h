@@ -87,6 +87,15 @@ class Histogram
     /** Number of in-range bins. */
     size_t bins() const { return counts_.size(); }
 
+    /** Lower edge of the first in-range bin. */
+    double lo() const { return lo_; }
+
+    /** Upper edge of the last in-range bin. */
+    double hi() const { return hi_; }
+
+    /** Width of one in-range bin. */
+    double binWidth() const { return width_; }
+
     /** Approximate quantile q in [0,1] from bin midpoints. */
     double quantile(double q) const;
 

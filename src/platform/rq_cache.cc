@@ -258,6 +258,15 @@ RqCache::publishGauges()
                        static_cast<double>(sizeBytes()));
     metrics_->setGauge("rq_cache.entries",
                        static_cast<double>(entryCount()));
+    // Hit rate as a scrapable gauge: /varz and /metrics consumers
+    // should not have to divide counters themselves.
+    const double hits =
+        static_cast<double>(hits_.load(std::memory_order_relaxed));
+    const double misses =
+        static_cast<double>(misses_.load(std::memory_order_relaxed));
+    metrics_->setGauge("rq_cache.hit_rate",
+                       hits + misses > 0 ? hits / (hits + misses)
+                                         : 0.0);
 }
 
 } // namespace wsva::platform

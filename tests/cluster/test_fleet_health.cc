@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Fleet-health rollup tests: the worker classification priority, the
+ * partition invariant (every worker in exactly one state at every
+ * level), the double-buffered board under concurrent publish/scrape,
+ * and the rollup that ClusterSim builds from a live fleet.
+ */
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/fleet_health.h"
+#include "support/mini_json.h"
+
+using namespace wsva::cluster;
+using wsva::testsupport::parseJson;
+
+namespace {
+
+TEST(FleetHealth, ClassifyPriorityOrder)
+{
+    // InRepair dominates everything: the host being repaired is the
+    // reason the worker is out, whatever its own flags say.
+    EXPECT_EQ(classifyWorker(true, true, true, true),
+              WorkerHealthState::InRepair);
+    EXPECT_EQ(classifyWorker(true, false, false, false),
+              WorkerHealthState::InRepair);
+    // Quarantined beats degraded: the worker refused its VCU.
+    EXPECT_EQ(classifyWorker(false, true, true, true),
+              WorkerHealthState::Quarantined);
+    // Disabled or silently-corrupting VCU is degraded.
+    EXPECT_EQ(classifyWorker(false, false, true, false),
+              WorkerHealthState::Degraded);
+    EXPECT_EQ(classifyWorker(false, false, false, true),
+              WorkerHealthState::Degraded);
+    EXPECT_EQ(classifyWorker(false, false, false, false),
+              WorkerHealthState::Healthy);
+}
+
+TEST(FleetHealth, CountsAddAndMergePartition)
+{
+    HealthCounts a;
+    a.add(WorkerHealthState::Healthy);
+    a.add(WorkerHealthState::Healthy);
+    a.add(WorkerHealthState::Degraded);
+    a.add(WorkerHealthState::Quarantined);
+    a.add(WorkerHealthState::InRepair);
+    EXPECT_EQ(a.healthy, 2u);
+    EXPECT_EQ(a.degraded, 1u);
+    EXPECT_EQ(a.quarantined, 1u);
+    EXPECT_EQ(a.in_repair, 1u);
+    EXPECT_EQ(a.total(), 5u);
+
+    HealthCounts b;
+    b.add(WorkerHealthState::Degraded);
+    b.merge(a);
+    EXPECT_EQ(b.degraded, 2u);
+    EXPECT_EQ(b.total(), 6u);
+}
+
+TEST(FleetHealth, StateNamesAreStable)
+{
+    EXPECT_STREQ(workerHealthStateName(WorkerHealthState::Healthy),
+                 "healthy");
+    EXPECT_STREQ(workerHealthStateName(WorkerHealthState::Degraded),
+                 "degraded");
+    EXPECT_STREQ(workerHealthStateName(WorkerHealthState::Quarantined),
+                 "quarantined");
+    EXPECT_STREQ(workerHealthStateName(WorkerHealthState::InRepair),
+                 "in_repair");
+}
+
+TEST(FleetHealth, BoardSnapshotIsNullBeforeFirstPublish)
+{
+    FleetHealthBoard board;
+    EXPECT_EQ(board.snapshot(), nullptr);
+    EXPECT_EQ(board.publishes(), 0u);
+}
+
+TEST(FleetHealth, BoardPublishReplacesSnapshot)
+{
+    FleetHealthBoard board;
+    FleetHealthSnapshot snap;
+    snap.tick = 7;
+    board.publish(snap);
+    ASSERT_NE(board.snapshot(), nullptr);
+    EXPECT_EQ(board.snapshot()->tick, 7u);
+
+    // An old reader's pointer survives the next publish.
+    const auto old = board.snapshot();
+    snap.tick = 8;
+    board.publish(snap);
+    EXPECT_EQ(old->tick, 7u);
+    EXPECT_EQ(board.snapshot()->tick, 8u);
+    EXPECT_EQ(board.publishes(), 2u);
+}
+
+TEST(FleetHealth, BoardConcurrentPublishAndScrape)
+{
+    // Publisher swaps fresh snapshots while scrapers read; every
+    // snapshot a scraper sees must be internally consistent (counts
+    // match the tick stamped into them). TSan-clean by construction.
+    FleetHealthBoard board;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> reads{0};
+    std::atomic<int> ready{0};
+
+    std::thread publisher([&] {
+        // Wait for every scraper to be spinning, so the reads really
+        // interleave with the publishes.
+        while (ready.load(std::memory_order_acquire) < 3) {
+        }
+        for (uint64_t tick = 1; tick <= 2000; ++tick) {
+            FleetHealthSnapshot snap;
+            snap.tick = tick;
+            // Encode the tick into the counts so a torn snapshot is
+            // detectable.
+            snap.cluster.healthy = tick;
+            snap.cluster.degraded = 2 * tick;
+            board.publish(std::move(snap));
+        }
+        stop.store(true, std::memory_order_release);
+    });
+
+    std::vector<std::thread> scrapers;
+    std::atomic<bool> torn{false};
+    for (int t = 0; t < 3; ++t) {
+        scrapers.emplace_back([&] {
+            ready.fetch_add(1, std::memory_order_release);
+            while (!stop.load(std::memory_order_acquire)) {
+                const auto snap = board.snapshot();
+                if (snap == nullptr)
+                    continue;
+                if (snap->cluster.healthy != snap->tick ||
+                    snap->cluster.degraded != 2 * snap->tick)
+                    torn.store(true, std::memory_order_relaxed);
+                reads.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    publisher.join();
+    for (auto &s : scrapers)
+        s.join();
+    EXPECT_FALSE(torn.load());
+    EXPECT_GT(reads.load(), 0u);
+    EXPECT_EQ(board.publishes(), 2000u);
+    EXPECT_EQ(board.snapshot()->tick, 2000u);
+}
+
+ClusterConfig
+faultyConfig()
+{
+    ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.vcus_per_host = 5;
+    cfg.hosts_per_rack = 2;
+    cfg.seed = 99;
+    cfg.vcu_hard_fault_per_hour = 40.0;
+    cfg.vcu_silent_fault_per_hour = 20.0;
+    cfg.failure.host_fault_threshold = 3;
+    cfg.failure.repair_seconds = 200.0;
+    cfg.failure.repair_cap = 1;
+    cfg.fleet_publish_every_ticks = 10;
+    return cfg;
+}
+
+std::vector<TranscodeStep>
+someSteps(int n)
+{
+    std::vector<TranscodeStep> steps;
+    for (int i = 0; i < n; ++i)
+        steps.push_back(makeMotStep(
+            static_cast<uint64_t>(i), static_cast<uint64_t>(i / 4),
+            i % 4, {1280, 720},
+            wsva::video::codec::CodecType::VP9));
+    return steps;
+}
+
+TEST(FleetHealth, RollupPartitionsFleetUnderFaults)
+{
+    ClusterSim sim(faultyConfig());
+    for (const auto &step : someSteps(200))
+        sim.submit(step);
+    sim.run(600.0, 1.0);
+
+    const auto snap = sim.fleetHealth().snapshot();
+    ASSERT_NE(snap, nullptr);
+
+    // The invariant the z-page promises: the four states partition
+    // the fleet at cluster, rack, and host level.
+    EXPECT_EQ(snap->cluster.total(),
+              static_cast<uint64_t>(sim.totalVcus()));
+    HealthCounts from_racks;
+    for (const auto &rack : snap->racks)
+        from_racks.merge(rack.counts);
+    EXPECT_EQ(from_racks.total(), snap->cluster.total());
+    EXPECT_EQ(from_racks.healthy, snap->cluster.healthy);
+    EXPECT_EQ(from_racks.in_repair, snap->cluster.in_repair);
+    HealthCounts from_hosts;
+    for (const auto &host : snap->hosts)
+        from_hosts.merge(host.counts);
+    EXPECT_EQ(from_hosts.total(), snap->cluster.total());
+    EXPECT_EQ(from_hosts.degraded, snap->cluster.degraded);
+    EXPECT_EQ(from_hosts.quarantined, snap->cluster.quarantined);
+
+    // Aggressive fault injection must have taken workers out.
+    EXPECT_LT(snap->cluster.healthy, snap->cluster.total());
+    EXPECT_EQ(snap->hosts.size(), 4u);
+    EXPECT_EQ(snap->racks.size(), 2u);
+    EXPECT_GT(sim.fleetHealth().publishes(), 1u);
+}
+
+TEST(FleetHealth, RollupTextAndJsonRender)
+{
+    ClusterSim sim(faultyConfig());
+    for (const auto &step : someSteps(100))
+        sim.submit(step);
+    sim.run(300.0, 1.0);
+
+    const auto snap = sim.fleetHealth().snapshot();
+    ASSERT_NE(snap, nullptr);
+    const std::string text = snap->toText();
+    EXPECT_NE(text.find("cluster"), std::string::npos);
+    EXPECT_NE(text.find("rack 0"), std::string::npos);
+    EXPECT_NE(text.find("host 0"), std::string::npos);
+    EXPECT_NE(text.find("slo"), std::string::npos);
+
+    wsva::testsupport::JsonValue doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(snap->toJson(), &doc, &error)) << error;
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.has("counts"));
+    EXPECT_EQ(doc.get("counts")->numberAt("total"),
+              static_cast<double>(sim.totalVcus()));
+    ASSERT_TRUE(doc.get("racks")->isArray());
+    EXPECT_EQ(doc.get("racks")->array.size(), 2u);
+    ASSERT_TRUE(doc.get("hosts")->isArray());
+    EXPECT_EQ(doc.get("hosts")->array.size(), 4u);
+    ASSERT_TRUE(doc.has("slo"));
+}
+
+TEST(FleetHealth, GaugesExportedToRegistry)
+{
+    ClusterSim sim(faultyConfig());
+    for (const auto &step : someSteps(50))
+        sim.submit(step);
+    sim.run(100.0, 1.0);
+
+    const auto &reg = sim.metricsRegistry();
+    const auto snap = sim.fleetHealth().snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(reg.gauge("fleet.healthy"),
+              static_cast<double>(snap->cluster.healthy));
+    EXPECT_EQ(reg.gauge("fleet.in_repair"),
+              static_cast<double>(snap->cluster.in_repair));
+    EXPECT_EQ(reg.gauge("fleet.rack0.healthy"),
+              static_cast<double>(snap->racks[0].counts.healthy));
+}
+
+TEST(FleetHealth, PublishCadenceRespectsConfig)
+{
+    // fleet_publish_every_ticks = 0 disables publication entirely.
+    ClusterConfig cfg = faultyConfig();
+    cfg.fleet_publish_every_ticks = 0;
+    ClusterSim sim(cfg);
+    sim.run(50.0, 1.0);
+    EXPECT_EQ(sim.fleetHealth().publishes(), 0u);
+    EXPECT_EQ(sim.fleetHealth().snapshot(), nullptr);
+
+    // Disabled observability also suppresses the rollup.
+    ClusterConfig off = faultyConfig();
+    off.observability = false;
+    ClusterSim sim_off(off);
+    sim_off.run(50.0, 1.0);
+    EXPECT_EQ(sim_off.fleetHealth().publishes(), 0u);
+}
+
+TEST(FleetHealth, RollupRetryRatesReconcile)
+{
+    ClusterSim sim(faultyConfig());
+    for (const auto &step : someSteps(300))
+        sim.submit(step);
+    const auto metrics = sim.run(900.0, 1.0);
+
+    const FleetHealthSnapshot snap = sim.buildFleetHealth(900.0);
+    uint64_t host_retries = 0;
+    uint64_t host_completions = 0;
+    for (const auto &host : snap.hosts) {
+        host_retries += host.retries;
+        host_completions += host.completions;
+        if (host.retries + host.completions > 0) {
+            EXPECT_NEAR(host.retry_rate,
+                        static_cast<double>(host.retries) /
+                            static_cast<double>(host.retries +
+                                                host.completions),
+                        1e-12);
+        } else {
+            EXPECT_EQ(host.retry_rate, 0.0);
+        }
+    }
+    // Per-host attribution covers every retry and completion the
+    // run-level metrics counted.
+    EXPECT_EQ(host_retries, metrics.steps_retried);
+    EXPECT_EQ(host_completions, metrics.steps_completed);
+}
+
+} // namespace

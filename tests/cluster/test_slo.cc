@@ -160,5 +160,133 @@ TEST(SloMonitor, ExportJsonIsParsableAndComplete)
     EXPECT_TRUE(doc.has("alert_active"));
 }
 
+TEST(SloMonitorWindow, EvictionBoundaryIsExact)
+{
+    // A completion stamped at tick T leaves the window at tick
+    // T + window_ticks exactly — present on the last covered tick,
+    // gone on the next.
+    SloMonitor slo(tightConfig()); // window_ticks = 4.
+    slo.onSubmit(1, 0.0);
+    slo.onComplete(1, 50.0); // Stamped tick 0, latency 50.
+    slo.onTick(1.0);
+    slo.onTick(2.0);
+    slo.onTick(3.0); // tick_ = 3: 0 + 4 <= 3 is false, still in.
+    EXPECT_DOUBLE_EQ(slo.windowP99(), 50.0);
+    slo.onTick(4.0); // tick_ = 4: 0 + 4 <= 4, evicted.
+    EXPECT_DOUBLE_EQ(slo.windowP99(), 0.0);
+}
+
+TEST(SloMonitorWindow, ExactlyFullNearestRank)
+{
+    // 100 completions in the window: nearest-rank p99 is the 100th
+    // value (rank 99), not an interpolation.
+    SloConfig cfg = tightConfig();
+    cfg.window_ticks = 10;
+    SloMonitor slo(cfg);
+    for (uint64_t i = 1; i <= 100; ++i) {
+        slo.onSubmit(i, 0.0);
+        slo.onComplete(i, static_cast<double>(i)); // Latency i.
+    }
+    slo.onTick(1.0);
+    EXPECT_DOUBLE_EQ(slo.windowP99(), 100.0);
+
+    // A window of 4 yields rank 3: the maximum.
+    SloMonitor small(tightConfig());
+    for (uint64_t i = 1; i <= 4; ++i) {
+        small.onSubmit(i, 0.0);
+        small.onComplete(i, static_cast<double>(i));
+    }
+    small.onTick(1.0);
+    EXPECT_DOUBLE_EQ(small.windowP99(), 4.0);
+}
+
+TEST(SloMonitorWindow, DuplicateLatencyTiesAtP99Rank)
+{
+    // Four completions exactly AT the 10 s target: p99 == target is
+    // not a violation (strictly-over semantics), so the O(1)
+    // rank-count burning check must agree with windowP99().
+    SloMonitor at_target(tightConfig());
+    for (uint64_t i = 1; i <= 4; ++i) {
+        at_target.onSubmit(i, 0.0);
+        at_target.onComplete(i, 10.0);
+    }
+    at_target.onTick(1.0);
+    EXPECT_DOUBLE_EQ(at_target.windowP99(), 10.0);
+    EXPECT_DOUBLE_EQ(at_target.burnRate(), 0.0); // Not burning.
+
+    // Duplicates below the rank with one strictly-over value at it:
+    // both paths must flip together.
+    SloMonitor over(tightConfig());
+    for (uint64_t i = 1; i <= 3; ++i) {
+        over.onSubmit(i, 0.0);
+        over.onComplete(i, 10.0);
+    }
+    over.onSubmit(4, 0.0);
+    over.onComplete(4, 10.5);
+    over.onTick(1.0);
+    EXPECT_DOUBLE_EQ(over.windowP99(), 10.5);
+    EXPECT_DOUBLE_EQ(over.burnRate(), 1.0); // Burning.
+
+    // Ties at the rank itself: {5, 10, 10, 10} ranks to 10 == target,
+    // still not burning.
+    SloMonitor tied(tightConfig());
+    tied.onSubmit(1, 0.0);
+    tied.onComplete(1, 5.0);
+    for (uint64_t i = 2; i <= 4; ++i) {
+        tied.onSubmit(i, 0.0);
+        tied.onComplete(i, 10.0);
+    }
+    tied.onTick(1.0);
+    EXPECT_DOUBLE_EQ(tied.windowP99(), 10.0);
+    EXPECT_DOUBLE_EQ(tied.burnRate(), 0.0);
+}
+
+TEST(SloMonitorWindow, AlertHysteresisAcrossBurstBoundary)
+{
+    // Raise at burn >= 0.5, clear only at burn <= 0.25. A burst of
+    // over-target completions raises the alert exactly once; after
+    // the burst ends the alert must survive the decay through the
+    // raise threshold (no flap) and clear exactly when the burn rate
+    // reaches the clear line.
+    SloMonitor slo(tightConfig()); // window 4, raise 0.5, clear 0.25.
+    uint64_t id = 0;
+    double now = 0.0;
+    for (int t = 0; t < 6; ++t) {
+        slo.onSubmit(++id, now);
+        slo.onComplete(id, now + 50.0); // 50 s >> 10 s target.
+        now += 1.0;
+        slo.onTick(now);
+    }
+    EXPECT_TRUE(slo.alertActive());
+    EXPECT_EQ(slo.alertsRaised(), 1u); // Raised once, not per tick.
+
+    // Burst over: clean ticks decay the burn rate. The alert must
+    // stay active strictly above the clear line and drop the moment
+    // the line is reached.
+    bool cleared = false;
+    for (int t = 0; t < 12 && !cleared; ++t) {
+        now += 1.0;
+        slo.onTick(now);
+        if (slo.alertActive()) {
+            EXPECT_GT(slo.burnRate(), 0.25);
+        } else {
+            cleared = true;
+            EXPECT_LE(slo.burnRate(), 0.25);
+        }
+    }
+    EXPECT_TRUE(cleared);
+    EXPECT_EQ(slo.alertsRaised(), 1u);
+
+    // A second burst re-raises: the hysteresis reset is symmetric.
+    for (int t = 0; t < 6; ++t) {
+        slo.onSubmit(++id, now);
+        slo.onComplete(id, now + 50.0);
+        now += 1.0;
+        slo.onTick(now);
+    }
+    EXPECT_TRUE(slo.alertActive());
+    EXPECT_EQ(slo.alertsRaised(), 2u);
+}
+
 } // namespace
 } // namespace wsva::cluster

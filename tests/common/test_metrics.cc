@@ -190,5 +190,166 @@ TEST(TraceLog, TypeNamesAreStable)
                  "step_corrupt");
 }
 
+TEST(TraceLog, ScrapeWhileRecordingHammer)
+{
+    // The satellite defect this locks down: toJson() used to format
+    // the whole document while holding the record-path SpinLock, so a
+    // slow scrape stalled every recording worker. Now the lock covers
+    // only the copy-out. Hammer: workers record while another thread
+    // scrapes continuously; every scrape must be parseable and no
+    // event may be lost. Run under TSan to certify.
+    TraceLog log(512);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&log, &go, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kPerThread; ++i)
+                log.record(TraceEventType::StepCompleted,
+                           static_cast<double>(i), t, t,
+                           static_cast<uint64_t>(i));
+        });
+    }
+    std::atomic<bool> done{false};
+    std::thread scraper([&log, &done] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::string json = log.toJson(64);
+            EXPECT_NE(json.find("\"counts\""), std::string::npos);
+            (void)log.snapshot(32);
+        }
+    });
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    done.store(true, std::memory_order_release);
+    scraper.join();
+
+    EXPECT_EQ(log.recorded(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(log.countOf(TraceEventType::StepCompleted),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_EQ(log.size(), 512u);
+}
+
+TEST(Prometheus, SanitizeRewritesIllegalChars)
+{
+    EXPECT_EQ(sanitizePrometheusName("cluster.steps_completed"),
+              "cluster_steps_completed");
+    EXPECT_EQ(sanitizePrometheusName("fleet.rack0.retry-rate"),
+              "fleet_rack0_retry_rate");
+    EXPECT_EQ(sanitizePrometheusName("a/b c"), "a_b_c");
+    EXPECT_EQ(sanitizePrometheusName("already_legal:name"),
+              "already_legal:name");
+    // Leading digit gets a prefix; empty becomes "_".
+    EXPECT_EQ(sanitizePrometheusName("9lives"), "_9lives");
+    EXPECT_EQ(sanitizePrometheusName(""), "_");
+}
+
+TEST(Prometheus, ExpositionCarriesCountersGaugesHistograms)
+{
+    MetricsRegistry m;
+    m.inc("steps.total", 42);
+    m.setGauge("util.encoder", 0.75);
+    for (int i = 0; i < 100; ++i)
+        m.observe("latency.seconds", i + 0.5, 0.0, 100.0, 10);
+
+    const std::string text = m.toPrometheusText();
+    EXPECT_NE(text.find("# TYPE steps_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("steps_total 42"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE util_encoder gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE latency_seconds histogram"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_seconds_bucket{le=\"+Inf\"} 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("latency_seconds_count 100"),
+              std::string::npos);
+    // HELP lines keep the original registry name for traceability.
+    EXPECT_NE(text.find("'latency.seconds'"), std::string::npos);
+}
+
+TEST(Prometheus, CollidingNamesGetDistinctFamilies)
+{
+    // Both sanitize to "a_b"; the exposition must keep them apart.
+    MetricsRegistry m;
+    m.inc("a.b", 1);
+    m.inc("a/b", 2);
+    m.setGauge("a-b", 3.0);
+
+    const std::string text = m.toPrometheusText();
+    EXPECT_NE(text.find("a_b 1"), std::string::npos);
+    EXPECT_NE(text.find("a_b_2 2"), std::string::npos);
+    EXPECT_NE(text.find("a_b_3 3"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramSuffixesCannotCollideWithPlainMetrics)
+{
+    // A histogram claims base, _bucket, _sum, and _count together; a
+    // counter that sanitizes to one of those must be renamed.
+    MetricsRegistry m;
+    for (int i = 0; i < 10; ++i)
+        m.observe("lat", static_cast<double>(i), 0.0, 10.0, 5);
+    m.inc("lat.count", 7); // Sanitizes to lat_count = histogram suffix.
+
+    const std::string text = m.toPrometheusText();
+    // Counters claim first, so the counter keeps lat_count...
+    EXPECT_NE(text.find("# TYPE lat_count counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("lat_count 7"), std::string::npos);
+    // ...and the whole histogram family moves aside to lat_2 rather
+    // than emitting a lat_count that means two different things.
+    EXPECT_NE(text.find("# TYPE lat_2 histogram"), std::string::npos);
+    EXPECT_NE(text.find("lat_2_count 10"), std::string::npos);
+    EXPECT_EQ(text.find("# TYPE lat histogram"), std::string::npos);
+}
+
+TEST(Prometheus, DisabledRegistryStillExposes)
+{
+    // Scraping a disabled registry returns whatever was recorded
+    // before it was disabled (the flag gates recording, not reads).
+    MetricsRegistry m;
+    m.inc("c", 3);
+    m.setEnabled(false);
+    m.inc("c", 99);
+    const std::string text = m.toPrometheusText();
+    EXPECT_NE(text.find("c 3"), std::string::npos);
+}
+
+TEST(Prometheus, ScrapeWhileRecordingHammer)
+{
+    // Same contract as TraceLog: the registry mutex is held only
+    // while copying, so concurrent scrapes and records interleave
+    // safely. TSan certifies the absence of data races.
+    MetricsRegistry m;
+    std::atomic<bool> done{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 3; ++t) {
+        workers.emplace_back([&m, t] {
+            for (int i = 0; i < 4000; ++i) {
+                m.inc("hammer.counter");
+                m.setGauge("hammer.gauge", static_cast<double>(i));
+                m.observe("hammer.hist", static_cast<double>(i % 100),
+                          0.0, 100.0, 10);
+            }
+        });
+    }
+    std::thread scraper([&m, &done] {
+        while (!done.load(std::memory_order_acquire)) {
+            const std::string text = m.toPrometheusText();
+            EXPECT_NE(text.find("hammer_counter"), std::string::npos);
+        }
+    });
+    for (auto &w : workers)
+        w.join();
+    done.store(true, std::memory_order_release);
+    scraper.join();
+    EXPECT_EQ(m.counter("hammer.counter"), 3u * 4000u);
+    EXPECT_EQ(m.histogramCount("hammer.hist"), 3u * 4000u);
+}
+
 } // namespace
 } // namespace wsva

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <future>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -402,6 +403,55 @@ TEST(ChromeExport, ConcurrentWallSpansAllSurvive)
     EXPECT_EQ(tracer.recorded(), 129u);
     JsonValue doc;
     ASSERT_TRUE(parseJson(tracer.exportChromeTrace(), &doc));
+}
+
+TEST(Tracer, SnapshotWhileRecordingHammer)
+{
+    // /tracez snapshots the span ring from a handler thread while
+    // workers keep recording. The ring lock covers only the copy-out,
+    // so the scrape cannot stall recorders — and every copied span
+    // must be fully formed (no torn begin/end pair). TSan certifies
+    // the synchronization.
+    Tracer tracer(256);
+    std::atomic<bool> done{false};
+    std::atomic<bool> scraper_up{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < 4; ++t) {
+        workers.emplace_back([&tracer, t, &scraper_up] {
+            // Hold until the scraper spins, so snapshots really
+            // interleave with the records.
+            while (!scraper_up.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < 4000; ++i) {
+                const double begin = i * 10.0;
+                tracer.recordSimSpan("hammer", "test", begin,
+                                     begin + 5.0, t, 0, 1, "i",
+                                     static_cast<uint64_t>(i));
+            }
+        });
+    }
+    std::atomic<uint64_t> snapshots{0};
+    std::atomic<int> torn{0};
+    std::thread scraper([&] {
+        scraper_up.store(true, std::memory_order_release);
+        while (!done.load(std::memory_order_acquire)) {
+            for (const auto &rec : tracer.snapshot()) {
+                // Every span was recorded with end = begin + 5.
+                if (rec.end_us != rec.begin_us + 5.0)
+                    torn.fetch_add(1, std::memory_order_relaxed);
+            }
+            snapshots.fetch_add(1, std::memory_order_relaxed);
+        }
+    });
+    for (auto &w : workers)
+        w.join();
+    done.store(true, std::memory_order_release);
+    scraper.join();
+
+    EXPECT_EQ(torn.load(), 0);
+    EXPECT_GT(snapshots.load(), 0u);
+    EXPECT_EQ(tracer.recorded(), 4u * 4000u);
+    EXPECT_EQ(tracer.snapshot().size(), 256u);
 }
 
 } // namespace

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * Debug-server tests: the HTTP surface (status codes, index, graceful
+ * shutdown), the five standard z-pages wired to a live ClusterSim,
+ * concurrent scrapes while the sim ticks on another thread, /metrics
+ * validity against a real Prometheus text-format parser, and the
+ * /statusz reconciliation invariant (state counts partition the fleet
+ * on every scrape).
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "common/debug_server.h"
+#include "common/trace.h"
+#include "support/http_client.h"
+#include "support/mini_json.h"
+#include "support/prom_text.h"
+
+using namespace wsva;
+using namespace wsva::cluster;
+using wsva::testsupport::httpGet;
+using wsva::testsupport::parseJson;
+using wsva::testsupport::parsePrometheusText;
+
+namespace {
+
+TEST(DebugServer, StartsOnEphemeralPortAndStops)
+{
+    DebugServer server;
+    server.addPage("/ping", "ping", [](const std::string &) {
+        DebugResponse resp;
+        resp.body = "pong\n";
+        return resp;
+    });
+    ASSERT_TRUE(server.start());
+    EXPECT_TRUE(server.running());
+    EXPECT_GT(server.port(), 0);
+
+    const auto resp = httpGet(server.port(), "/ping");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(resp.body, "pong\n");
+    EXPECT_EQ(resp.headers.at("connection"), "close");
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    // stop() is idempotent.
+    server.stop();
+    EXPECT_EQ(server.requestsServed(), 1u);
+}
+
+TEST(DebugServer, UnknownPathIs404WithIndex)
+{
+    DebugServer server;
+    server.addPage("/known", "a known page", [](const std::string &) {
+        return DebugResponse{};
+    });
+    ASSERT_TRUE(server.start());
+    const auto resp = httpGet(server.port(), "/definitely-not-here");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 404);
+    // The 404 body lists registered pages so a human can recover.
+    EXPECT_NE(resp.body.find("/known"), std::string::npos);
+    server.stop();
+}
+
+TEST(DebugServer, NonGetIs405)
+{
+    DebugServer server;
+    server.addPage("/page", "page", [](const std::string &) {
+        return DebugResponse{};
+    });
+    ASSERT_TRUE(server.start());
+    const auto resp = httpGet(server.port(), "/page", "POST");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 405);
+    server.stop();
+}
+
+TEST(DebugServer, IndexListsPagesWithHelp)
+{
+    DebugServer server;
+    server.addPage("/alpha", "the alpha page", [](const std::string &) {
+        return DebugResponse{};
+    });
+    server.addPage("/beta", "the beta page", [](const std::string &) {
+        return DebugResponse{};
+    });
+    ASSERT_TRUE(server.start());
+    const auto resp = httpGet(server.port(), "/");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_NE(resp.body.find("/alpha"), std::string::npos);
+    EXPECT_NE(resp.body.find("the beta page"), std::string::npos);
+    server.stop();
+}
+
+TEST(DebugServer, QueryStringIsStripped)
+{
+    DebugServer server;
+    std::string seen_path;
+    server.addPage("/q", "query test", [&](const std::string &path) {
+        seen_path = path;
+        return DebugResponse{};
+    });
+    ASSERT_TRUE(server.start());
+    const auto resp = httpGet(server.port(), "/q?foo=bar&baz=1");
+    ASSERT_TRUE(resp.ok);
+    EXPECT_EQ(resp.status, 200);
+    EXPECT_EQ(seen_path, "/q");
+    server.stop();
+}
+
+TEST(DebugServer, HandlerErrorsDoNotKillServer)
+{
+    DebugServer server;
+    server.addPage("/fail", "always 500", [](const std::string &) {
+        DebugResponse resp;
+        resp.status = 500;
+        resp.body = "boom\n";
+        return resp;
+    });
+    server.addPage("/ok", "fine", [](const std::string &) {
+        return DebugResponse{};
+    });
+    ASSERT_TRUE(server.start());
+    EXPECT_EQ(httpGet(server.port(), "/fail").status, 500);
+    EXPECT_EQ(httpGet(server.port(), "/ok").status, 200);
+    server.stop();
+}
+
+ClusterConfig
+demoConfig()
+{
+    ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.vcus_per_host = 5;
+    cfg.hosts_per_rack = 2;
+    cfg.seed = 7;
+    cfg.vcu_hard_fault_per_hour = 30.0;
+    cfg.vcu_silent_fault_per_hour = 15.0;
+    cfg.failure.host_fault_threshold = 3;
+    cfg.failure.repair_seconds = 150.0;
+    cfg.failure.repair_cap = 1;
+    cfg.fleet_publish_every_ticks = 5;
+    return cfg;
+}
+
+ArrivalFn
+steadyArrivals()
+{
+    auto counter = std::make_shared<uint64_t>(0);
+    return [counter](double, double) {
+        std::vector<TranscodeStep> steps;
+        for (int i = 0; i < 3; ++i) {
+            const uint64_t id = (*counter)++;
+            steps.push_back(makeMotStep(
+                id, id / 8, static_cast<int>(id % 8), {1280, 720},
+                wsva::video::codec::CodecType::VP9));
+        }
+        return steps;
+    };
+}
+
+TEST(DebugServer, ZPagesServeFromSeededSim)
+{
+    ClusterSim sim(demoConfig());
+    sim.run(120.0, 1.0, steadyArrivals());
+
+    DebugServer server;
+    sim.attachDebugServer(server, "test build");
+    ASSERT_TRUE(server.start());
+
+    // /healthz: JSON liveness with build info and fleet summary.
+    const auto healthz = httpGet(server.port(), "/healthz");
+    ASSERT_EQ(healthz.status, 200);
+    EXPECT_NE(healthz.headers.at("content-type").find(
+                  "application/json"),
+              std::string::npos);
+    wsva::testsupport::JsonValue hdoc;
+    std::string error;
+    ASSERT_TRUE(parseJson(healthz.body, &hdoc, &error)) << error;
+    ASSERT_TRUE(hdoc.isObject());
+    EXPECT_EQ(hdoc.get("status")->str, "ok");
+    EXPECT_EQ(hdoc.get("build")->str, "test build");
+    EXPECT_EQ(hdoc.numberAt("total_vcus"), 20.0);
+    EXPECT_GT(hdoc.numberAt("fleet_publishes"), 0.0);
+
+    // /varz: the registry as JSON.
+    const auto varz = httpGet(server.port(), "/varz");
+    ASSERT_EQ(varz.status, 200);
+    wsva::testsupport::JsonValue vdoc;
+    ASSERT_TRUE(parseJson(varz.body, &vdoc, &error)) << error;
+    ASSERT_TRUE(vdoc.isObject());
+    ASSERT_TRUE(vdoc.has("counters"));
+    EXPECT_GT(vdoc.get("counters")->numberAt("cluster.steps_completed"),
+              0.0);
+
+    // /metrics: valid Prometheus exposition (deep-checked below).
+    const auto metrics = httpGet(server.port(), "/metrics");
+    ASSERT_EQ(metrics.status, 200);
+    EXPECT_NE(metrics.headers.at("content-type").find("version=0.0.4"),
+              std::string::npos);
+    const auto prom = parsePrometheusText(metrics.body);
+    EXPECT_TRUE(prom.ok) << prom.error;
+
+    // /tracez: span groups with latency columns.
+    const auto tracez = httpGet(server.port(), "/tracez");
+    ASSERT_EQ(tracez.status, 200);
+    EXPECT_NE(tracez.body.find("p99"), std::string::npos);
+    EXPECT_NE(tracez.body.find("upload"), std::string::npos);
+
+    // /statusz: the fleet rollup.
+    const auto statusz = httpGet(server.port(), "/statusz");
+    ASSERT_EQ(statusz.status, 200);
+    EXPECT_NE(statusz.body.find("cluster"), std::string::npos);
+    EXPECT_NE(statusz.body.find("rack 0"), std::string::npos);
+
+    server.stop();
+    EXPECT_GE(server.requestsServed(), 5u);
+}
+
+TEST(DebugServer, MetricsExpositionMatchesRegistry)
+{
+    ClusterSim sim(demoConfig());
+    sim.run(60.0, 1.0, steadyArrivals());
+
+    DebugServer server;
+    sim.attachDebugServer(server);
+    ASSERT_TRUE(server.start());
+    const auto resp = httpGet(server.port(), "/metrics");
+    server.stop();
+    ASSERT_EQ(resp.status, 200);
+
+    const auto prom = parsePrometheusText(resp.body);
+    ASSERT_TRUE(prom.ok) << prom.error;
+
+    // Counter value round-trips exactly.
+    const auto *fam = prom.family("cluster_steps_completed");
+    ASSERT_NE(fam, nullptr);
+    EXPECT_EQ(fam->type, "counter");
+    ASSERT_EQ(fam->samples.size(), 1u);
+    EXPECT_EQ(fam->samples[0].value,
+              static_cast<double>(sim.metricsRegistry().counter(
+                  "cluster.steps_completed")));
+
+    // The fleet gauges from the rollup are exposed too.
+    const auto *healthy = prom.family("fleet_healthy");
+    ASSERT_NE(healthy, nullptr);
+    EXPECT_EQ(healthy->type, "gauge");
+}
+
+TEST(DebugServer, ConcurrentScrapesWhileSimRuns)
+{
+    // The acceptance scenario: a seeded sim ticking on one thread
+    // while scrapers hammer every endpoint. Every /statusz scrape
+    // must see counts that partition the fleet; every /metrics
+    // scrape must parse as valid Prometheus text.
+    ClusterSim sim(demoConfig());
+    DebugServer server;
+    sim.attachDebugServer(server, "concurrent test");
+    ASSERT_TRUE(server.start());
+    const uint16_t port = server.port();
+
+    std::thread sim_thread(
+        [&] { sim.run(400.0, 1.0, steadyArrivals()); });
+
+    std::atomic<int> bad_statusz{0};
+    std::atomic<int> bad_metrics{0};
+    std::atomic<int> transport_errors{0};
+    const int total_vcus = sim.totalVcus();
+    std::vector<std::thread> scrapers;
+    for (int t = 0; t < 3; ++t) {
+        scrapers.emplace_back([&, t] {
+            for (int i = 0; i < 25; ++i) {
+                // Rotate through all five pages; deep-check two.
+                const auto health = httpGet(port, "/healthz");
+                const auto varz = httpGet(port, "/varz");
+                const auto tracez = httpGet(port, "/tracez");
+                if (!health.ok || !varz.ok || !tracez.ok)
+                    transport_errors.fetch_add(1);
+
+                const auto statusz = httpGet(port, "/statusz");
+                if (statusz.status != 200) {
+                    transport_errors.fetch_add(1);
+                } else if (statusz.body.find("no fleet-health") ==
+                           std::string::npos) {
+                    // Reconcile: the cluster row's four counts must
+                    // sum to the fleet size on EVERY scrape.
+                    const size_t row = statusz.body.find("cluster");
+                    unsigned long long ok_n = 0;
+                    unsigned long long deg = 0;
+                    unsigned long long quar = 0;
+                    unsigned long long rep = 0;
+                    if (row == std::string::npos ||
+                        std::sscanf(statusz.body.c_str() + row,
+                                    "cluster %llu ok %llu deg "
+                                    "%llu quar %llu rep",
+                                    &ok_n, &deg, &quar, &rep) != 4 ||
+                        ok_n + deg + quar + rep !=
+                            static_cast<unsigned long long>(
+                                total_vcus))
+                        bad_statusz.fetch_add(1);
+                }
+
+                if (t == 0) {
+                    const auto metrics = httpGet(port, "/metrics");
+                    if (metrics.status != 200 ||
+                        !parsePrometheusText(metrics.body).ok)
+                        bad_metrics.fetch_add(1);
+                }
+            }
+        });
+    }
+    for (auto &s : scrapers)
+        s.join();
+    sim_thread.join();
+    server.stop();
+
+    EXPECT_EQ(transport_errors.load(), 0);
+    EXPECT_EQ(bad_statusz.load(), 0);
+    EXPECT_EQ(bad_metrics.load(), 0);
+    EXPECT_GE(server.requestsServed(), 3u * 25u * 4u);
+
+    // After the run, the final published rollup reconciles exactly.
+    const auto snap = sim.fleetHealth().snapshot();
+    ASSERT_NE(snap, nullptr);
+    EXPECT_EQ(snap->cluster.total(),
+              static_cast<uint64_t>(total_vcus));
+}
+
+TEST(DebugServer, StatuszCountsReconcileOnEveryScrape)
+{
+    // Stronger form of the acceptance check: scrape /statusz's JSON
+    // sibling (exportJson's fleet_health) concurrently with the sim
+    // via the board, and assert healthy+degraded+quarantined+
+    // in_repair == fleet size for every snapshot observed.
+    ClusterSim sim(demoConfig());
+    DebugServer server;
+    sim.attachDebugServer(server);
+    ASSERT_TRUE(server.start());
+
+    std::thread sim_thread(
+        [&] { sim.run(300.0, 1.0, steadyArrivals()); });
+
+    const uint64_t fleet = static_cast<uint64_t>(sim.totalVcus());
+    int checked = 0;
+    int mismatches = 0;
+    for (int i = 0; i < 60; ++i) {
+        const auto snap = sim.fleetHealth().snapshot();
+        if (snap == nullptr)
+            continue;
+        ++checked;
+        if (snap->cluster.total() != fleet)
+            ++mismatches;
+        HealthCounts from_hosts;
+        for (const auto &host : snap->hosts)
+            from_hosts.merge(host.counts);
+        if (from_hosts.total() != fleet)
+            ++mismatches;
+    }
+    sim_thread.join();
+    server.stop();
+    EXPECT_GT(checked, 0);
+    EXPECT_EQ(mismatches, 0);
+}
+
+TEST(DebugServer, TracezRendersGroupedSpans)
+{
+    Tracer tracer(1024);
+    tracer.setEnabled(true);
+    for (int i = 0; i < 10; ++i) {
+        tracer.recordSimSpan("encode", "test",
+                             static_cast<double>(i) * 1e6,
+                             static_cast<double>(i + 1) * 1e6, 0, 0, 1);
+    }
+    const std::string body = renderTracez(tracer);
+    EXPECT_NE(body.find("encode"), std::string::npos);
+    EXPECT_NE(body.find("count"), std::string::npos);
+    EXPECT_NE(body.find("10"), std::string::npos);
+}
+
+} // namespace

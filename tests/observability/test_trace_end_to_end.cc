@@ -226,7 +226,17 @@ TEST(TraceEndToEnd, ClusterExportJsonCarriesSchemaVersionAndSlo)
     JsonValue doc;
     std::string error;
     ASSERT_TRUE(parseJson(sim.exportJson(), &doc, &error)) << error;
-    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 1.0);
+    // 2: "fleet_health" joined the export (see DESIGN.md §8).
+    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 2.0);
+
+    const JsonValue *fleet = doc.get("fleet_health");
+    ASSERT_NE(fleet, nullptr);
+    ASSERT_TRUE(fleet->isObject());
+    ASSERT_TRUE(fleet->has("counts"));
+    EXPECT_GT(fleet->get("counts")->numberAt("total"), 0.0);
+    EXPECT_TRUE(fleet->has("racks"));
+    EXPECT_TRUE(fleet->has("hosts"));
+    EXPECT_TRUE(fleet->has("slo"));
 
     const JsonValue *slo = doc.get("slo");
     ASSERT_NE(slo, nullptr);

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Blocking HTTP/1.1 GET helper for debug-server tests: connect to
+ * 127.0.0.1:<port>, send one request, read until the server closes
+ * (the server always answers Connection: close), and split status /
+ * headers / body. Just enough client to exercise DebugServer without
+ * shelling out to curl.
+ */
+
+#ifndef WSVA_TESTS_SUPPORT_HTTP_CLIENT_H
+#define WSVA_TESTS_SUPPORT_HTTP_CLIENT_H
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+namespace wsva::testsupport {
+
+/** One parsed HTTP response. ok == false means transport failure. */
+struct HttpResponse
+{
+    bool ok = false;
+    int status = 0;
+    std::map<std::string, std::string> headers; //!< Lower-cased keys.
+    std::string body;
+};
+
+/**
+ * GET @p path from 127.0.0.1:@p port. @p method overrides the verb
+ * (for 405 tests); @p timeout_seconds bounds connect + each read.
+ */
+inline HttpResponse
+httpGet(uint16_t port, const std::string &path,
+        const std::string &method = "GET", double timeout_seconds = 10.0)
+{
+    HttpResponse resp;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return resp;
+
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_seconds);
+    tv.tv_usec = static_cast<suseconds_t>(
+        (timeout_seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return resp;
+    }
+
+    const std::string request = method + " " + path +
+                                " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                                "Connection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n = ::send(fd, request.data() + sent,
+                                 request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return resp;
+        }
+        sent += static_cast<size_t>(n);
+    }
+
+    std::string raw;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n < 0) {
+            ::close(fd);
+            return resp; // Timeout / error: transport failure.
+        }
+        if (n == 0)
+            break; // Server closed: response complete.
+        raw.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+
+    const size_t head_end = raw.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return resp;
+    const std::string head = raw.substr(0, head_end);
+    resp.body = raw.substr(head_end + 4);
+
+    // Status line: "HTTP/1.1 200 OK".
+    const size_t line_end = head.find("\r\n");
+    const std::string status_line =
+        head.substr(0, line_end == std::string::npos ? head.size()
+                                                     : line_end);
+    const size_t sp = status_line.find(' ');
+    if (sp == std::string::npos)
+        return resp;
+    resp.status = std::atoi(status_line.c_str() + sp + 1);
+
+    size_t pos = line_end == std::string::npos ? head.size()
+                                               : line_end + 2;
+    while (pos < head.size()) {
+        size_t eol = head.find("\r\n", pos);
+        if (eol == std::string::npos)
+            eol = head.size();
+        const std::string line = head.substr(pos, eol - pos);
+        pos = eol + 2;
+        const size_t colon = line.find(':');
+        if (colon == std::string::npos)
+            continue;
+        std::string key = line.substr(0, colon);
+        for (auto &c : key)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        size_t vstart = colon + 1;
+        while (vstart < line.size() && line[vstart] == ' ')
+            ++vstart;
+        resp.headers[key] = line.substr(vstart);
+    }
+    resp.ok = resp.status > 0;
+    return resp;
+}
+
+} // namespace wsva::testsupport
+
+#endif // WSVA_TESTS_SUPPORT_HTTP_CLIENT_H

@@ -1,0 +1,347 @@
+/**
+ * @file
+ * Minimal Prometheus text-format (0.0.4) parser for tests.
+ *
+ * MetricsRegistry::toPrometheusText() is consumed by real scrapers;
+ * substring asserts cannot catch an illegal metric name, a histogram
+ * whose buckets are not cumulative, or a family whose samples precede
+ * its TYPE line. This parser checks exactly the grammar our exposition
+ * promises: HELP/TYPE comments, `name{labels} value` samples, legal
+ * name charset, and histogram bucket invariants. It is not a general
+ * Prometheus client (no exemplars, no timestamps, no escaped label
+ * commas beyond what our emitter produces).
+ */
+
+#ifndef WSVA_TESTS_SUPPORT_PROM_TEXT_H
+#define WSVA_TESTS_SUPPORT_PROM_TEXT_H
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wsva::testsupport {
+
+/** One parsed sample line. */
+struct PromSample
+{
+    std::string name;  //!< Full sample name (e.g. foo_bucket).
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/** One metric family (everything under a # TYPE line). */
+struct PromFamily
+{
+    std::string type; //!< counter | gauge | histogram | ...
+    bool has_help = false;
+    std::vector<PromSample> samples;
+};
+
+/** Parse + validation result. */
+struct PromDocument
+{
+    bool ok = false;
+    std::string error; //!< First violation, empty when ok.
+    std::map<std::string, PromFamily> families;
+
+    const PromFamily *family(const std::string &name) const
+    {
+        auto it = families.find(name);
+        return it == families.end() ? nullptr : &it->second;
+    }
+
+    /** First sample of @p family whose labels match, or nullptr. */
+    const PromSample *
+    sample(const std::string &family_name,
+           const std::map<std::string, std::string> &labels = {}) const
+    {
+        const PromFamily *fam = family(family_name);
+        if (fam == nullptr)
+            return nullptr;
+        for (const auto &s : fam->samples) {
+            bool match = true;
+            for (const auto &[k, v] : labels) {
+                auto it = s.labels.find(k);
+                if (it == s.labels.end() || it->second != v) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match)
+                return &s;
+        }
+        return nullptr;
+    }
+};
+
+inline bool
+isLegalPromName(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    const auto legal_first = [](char c) {
+        return std::isalpha(static_cast<unsigned char>(c)) != 0 ||
+               c == '_' || c == ':';
+    };
+    const auto legal_rest = [&](char c) {
+        return legal_first(c) ||
+               std::isdigit(static_cast<unsigned char>(c)) != 0;
+    };
+    if (!legal_first(name[0]))
+        return false;
+    for (size_t i = 1; i < name.size(); ++i) {
+        if (!legal_rest(name[i]))
+            return false;
+    }
+    return true;
+}
+
+namespace prom_detail {
+
+/** Family a sample name belongs to (strips histogram suffixes). */
+inline std::string
+familyOf(const std::string &sample_name)
+{
+    for (const char *suffix : {"_bucket", "_sum", "_count"}) {
+        const std::string s(suffix);
+        if (sample_name.size() > s.size() &&
+            sample_name.compare(sample_name.size() - s.size(), s.size(),
+                                s) == 0)
+            return sample_name.substr(0, sample_name.size() - s.size());
+    }
+    return sample_name;
+}
+
+inline bool
+parseValue(const std::string &text, double *out)
+{
+    if (text == "+Inf") {
+        *out = HUGE_VAL;
+        return true;
+    }
+    if (text == "-Inf") {
+        *out = -HUGE_VAL;
+        return true;
+    }
+    if (text == "NaN") {
+        *out = NAN;
+        return true;
+    }
+    char *end = nullptr;
+    *out = std::strtod(text.c_str(), &end);
+    return end != nullptr && *end == '\0' && end != text.c_str();
+}
+
+/** Parse `name{k="v",...} value` into @p sample. */
+inline bool
+parseSampleLine(const std::string &line, PromSample *sample,
+                std::string *error)
+{
+    size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ')
+        ++i;
+    sample->name = line.substr(0, i);
+    if (!isLegalPromName(sample->name)) {
+        *error = "illegal sample name: '" + sample->name + "'";
+        return false;
+    }
+    if (i < line.size() && line[i] == '{') {
+        const size_t close = line.find('}', i);
+        if (close == std::string::npos) {
+            *error = "unterminated label set: " + line;
+            return false;
+        }
+        std::string labels = line.substr(i + 1, close - i - 1);
+        size_t pos = 0;
+        while (pos < labels.size()) {
+            const size_t eq = labels.find('=', pos);
+            if (eq == std::string::npos || eq + 1 >= labels.size() ||
+                labels[eq + 1] != '"') {
+                *error = "malformed label in: " + line;
+                return false;
+            }
+            const std::string key = labels.substr(pos, eq - pos);
+            if (!isLegalPromName(key)) {
+                *error = "illegal label name: '" + key + "'";
+                return false;
+            }
+            const size_t vclose = labels.find('"', eq + 2);
+            if (vclose == std::string::npos) {
+                *error = "unterminated label value in: " + line;
+                return false;
+            }
+            sample->labels[key] =
+                labels.substr(eq + 2, vclose - eq - 2);
+            pos = vclose + 1;
+            if (pos < labels.size() && labels[pos] == ',')
+                ++pos;
+        }
+        i = close + 1;
+    }
+    while (i < line.size() && line[i] == ' ')
+        ++i;
+    const std::string value_text = line.substr(i);
+    if (!parseValue(value_text, &sample->value)) {
+        *error = "bad sample value '" + value_text + "' in: " + line;
+        return false;
+    }
+    return true;
+}
+
+/** Histogram family invariants: cumulative buckets, +Inf == _count. */
+inline bool
+checkHistogram(const std::string &name, const PromFamily &fam,
+               std::string *error)
+{
+    double prev_le = -HUGE_VAL;
+    double prev_cum = 0.0;
+    bool saw_inf = false;
+    double inf_value = 0.0;
+    double count_value = -1.0;
+    bool saw_sum = false;
+    for (const auto &s : fam.samples) {
+        if (s.name == name + "_bucket") {
+            auto it = s.labels.find("le");
+            if (it == s.labels.end()) {
+                *error = name + ": bucket without le label";
+                return false;
+            }
+            double le = 0.0;
+            if (!parseValue(it->second, &le)) {
+                *error = name + ": bad le '" + it->second + "'";
+                return false;
+            }
+            if (le <= prev_le) {
+                *error = name + ": le values not increasing";
+                return false;
+            }
+            if (s.value + 1e-9 < prev_cum) {
+                *error = name + ": buckets not cumulative";
+                return false;
+            }
+            prev_le = le;
+            prev_cum = s.value;
+            if (it->second == "+Inf") {
+                saw_inf = true;
+                inf_value = s.value;
+            }
+        } else if (s.name == name + "_count") {
+            count_value = s.value;
+        } else if (s.name == name + "_sum") {
+            saw_sum = true;
+        }
+    }
+    if (!saw_inf) {
+        *error = name + ": histogram missing +Inf bucket";
+        return false;
+    }
+    if (!saw_sum || count_value < 0.0) {
+        *error = name + ": histogram missing _sum or _count";
+        return false;
+    }
+    if (inf_value != count_value) {
+        *error = name + ": +Inf bucket != _count";
+        return false;
+    }
+    return true;
+}
+
+} // namespace prom_detail
+
+/**
+ * Parse and validate one Prometheus text document. Violations set
+ * `ok = false` with the first error; families/samples parsed so far
+ * stay available for diagnostics.
+ */
+inline PromDocument
+parsePrometheusText(const std::string &text)
+{
+    using namespace prom_detail;
+    PromDocument doc;
+    size_t pos = 0;
+    while (pos < text.size()) {
+        size_t eol = text.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = text.size();
+        const std::string line = text.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.empty())
+            continue;
+        if (line[0] == '#') {
+            // "# HELP name ..." / "# TYPE name type".
+            if (line.rfind("# HELP ", 0) == 0) {
+                const size_t sp = line.find(' ', 7);
+                const std::string name = line.substr(
+                    7, sp == std::string::npos ? std::string::npos
+                                               : sp - 7);
+                if (!isLegalPromName(name)) {
+                    doc.error = "illegal HELP name: '" + name + "'";
+                    return doc;
+                }
+                doc.families[name].has_help = true;
+            } else if (line.rfind("# TYPE ", 0) == 0) {
+                const size_t sp = line.find(' ', 7);
+                if (sp == std::string::npos) {
+                    doc.error = "malformed TYPE line: " + line;
+                    return doc;
+                }
+                const std::string name = line.substr(7, sp - 7);
+                const std::string type = line.substr(sp + 1);
+                if (!isLegalPromName(name)) {
+                    doc.error = "illegal TYPE name: '" + name + "'";
+                    return doc;
+                }
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped") {
+                    doc.error = "unknown type '" + type + "'";
+                    return doc;
+                }
+                if (!doc.families[name].type.empty()) {
+                    doc.error = "duplicate TYPE for '" + name + "'";
+                    return doc;
+                }
+                doc.families[name].type = type;
+            }
+            continue; // Other comments are legal and ignored.
+        }
+        PromSample sample;
+        if (!parseSampleLine(line, &sample, &doc.error))
+            return doc;
+        const std::string fam_name = familyOf(sample.name);
+        auto it = doc.families.find(fam_name);
+        // A histogram-suffixed name may also be a plain family of its
+        // own; prefer the exact name when it is typed.
+        auto exact = doc.families.find(sample.name);
+        if (exact != doc.families.end() && !exact->second.type.empty() &&
+            exact->second.type != "histogram")
+            it = exact;
+        if (it == doc.families.end() || it->second.type.empty()) {
+            doc.error = "sample before TYPE: " + sample.name;
+            return doc;
+        }
+        it->second.samples.push_back(std::move(sample));
+    }
+    for (const auto &[name, fam] : doc.families) {
+        if (fam.type.empty()) {
+            doc.error = "HELP without TYPE for '" + name + "'";
+            return doc;
+        }
+        if (fam.samples.empty()) {
+            doc.error = "family '" + name + "' has no samples";
+            return doc;
+        }
+        if (fam.type == "histogram" &&
+            !checkHistogram(name, fam, &doc.error))
+            return doc;
+    }
+    doc.ok = true;
+    return doc;
+}
+
+} // namespace wsva::testsupport
+
+#endif // WSVA_TESTS_SUPPORT_PROM_TEXT_H
