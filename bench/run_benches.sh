@@ -8,9 +8,18 @@ set -eu
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 
-if [ ! -x "$build_dir/bench/bench_parallel_pipeline" ]; then
-    echo "bench_parallel_pipeline not built in $build_dir;" \
-         "run: cmake -B $build_dir -S $repo_root && cmake --build $build_dir -j" >&2
+# Preflight: every bench this script runs must exist. A missing
+# binary means a stale or partial build — fail loudly up front
+# instead of silently emitting a subset of the BENCH_*.json files.
+missing=""
+for bench in bench_parallel_pipeline bench_cluster bench_optimizer \
+             bench_observability bench_fleet_scale; do
+    [ -x "$build_dir/bench/$bench" ] || missing="$missing $bench"
+done
+if [ -n "$missing" ]; then
+    echo "missing bench binaries in $build_dir:$missing" >&2
+    echo "run: cmake -B $build_dir -S $repo_root &&" \
+         "cmake --build $build_dir -j" >&2
     exit 1
 fi
 
@@ -35,6 +44,38 @@ echo "Running bench_observability ..." >&2
 "$build_dir/bench/bench_observability" \
     > "$repo_root/BENCH_observability.json"
 echo "Wrote $repo_root/BENCH_observability.json" >&2
+
+# bench_fleet_scale exits non-zero on a conservation or telemetry-
+# gating failure; on success its JSON is schema-checked before the
+# file is accepted (the fleet-scale claims — 200k VCUs, >= 1M steps,
+# >= 20x tick-vs-event speedup — are load-bearing numbers).
+echo "Running bench_fleet_scale (tick arms take ~1 min) ..." >&2
+"$build_dir/bench/bench_fleet_scale" \
+    > "$repo_root/BENCH_fleet_scale.json"
+if command -v python3 >/dev/null; then
+    if ! python3 - "$repo_root/BENCH_fleet_scale.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "fleet_scale"
+for key in ("scenario", "sweep", "speedup", "observability_gating"):
+    assert key in doc, f"missing key: {key}"
+top = max(doc["sweep"], key=lambda s: s["hosts"])
+assert top["vcus"] >= 200000, "top scale below 200k VCUs"
+assert top["event"]["steps_submitted"] >= 1000000, "below 1M steps"
+assert top["event"]["events_per_s"] > 0
+assert top["event"]["rss_bytes_per_worker"] > 0
+assert doc["speedup"]["meets_target"], "tick-vs-event speedup < 20x"
+assert doc["conservation_holds_all_arms"] is True
+EOF
+    then
+        echo "BENCH_fleet_scale.json failed schema check" >&2
+        exit 1
+    fi
+else
+    grep -q '"meets_target": true' "$repo_root/BENCH_fleet_scale.json" \
+        || { echo "BENCH_fleet_scale.json failed schema check" >&2; exit 1; }
+fi
+echo "Wrote $repo_root/BENCH_fleet_scale.json" >&2
 
 # --- Debug-server end-to-end smoke -----------------------------------
 # Start the demo sim with its z-page server, scrape all five endpoints

@@ -85,6 +85,12 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
         scheduler_ = std::make_unique<SlotScheduler>(all_workers, slot);
     }
     scheduler_->attachMetrics(&registry_);
+    // The segment-tree availability index returns the identical
+    // first-fit pick in O(log n) instead of O(n). Health mutations
+    // outside the worker (fault injection, repair drains) call
+    // scheduler_->refresh() to keep it coherent.
+    if (auto *bp = dynamic_cast<BinPackScheduler *>(scheduler_.get()))
+        bp->enableIndex();
 
     submitted_counter_ = registry_.counterHandle("cluster.steps_submitted");
     completed_counter_ = registry_.counterHandle("cluster.steps_completed");
@@ -136,6 +142,18 @@ ClusterSim::workerAt(int host, int vcu)
         .get();
 }
 
+Worker *
+ClusterSim::workerByGid(int gid)
+{
+    return workerAt(gid / cfg_.vcus_per_host, gid % cfg_.vcus_per_host);
+}
+
+HostModel &
+ClusterSim::hostOfGid(int gid)
+{
+    return hosts_[static_cast<size_t>(gid / cfg_.vcus_per_host)];
+}
+
 void
 ClusterSim::injectFaults(double now, double dt)
 {
@@ -163,6 +181,7 @@ ClusterSim::injectFaults(double now, double dt)
                 registry_.inc("cluster.vcus_disabled");
                 trace_.record(TraceEventType::FaultInjected, now,
                               host.id, vcu_gid);
+                scheduler_->refresh(*host.workers[v]);
             }
             if (!health.silent_fault && p_silent > 0 &&
                 rng_.bernoulli(p_silent)) {
@@ -177,194 +196,237 @@ ClusterSim::injectFaults(double now, double dt)
 }
 
 void
-ClusterSim::manageRepairs(double now)
+ClusterSim::maybeEnterRepair(HostModel &host, double now)
 {
-    // Hosts over the fault threshold go to repair (capped).
-    for (auto &host : hosts_) {
-        if (!host.in_repair &&
-            host.fault_count >= cfg_.failure.host_fault_threshold) {
-            if (repairs_.tryEnter(host.id, now)) {
-                host.in_repair = true;
-                repair_enter_[static_cast<size_t>(host.id)] = now;
-                // Everything on the host is drained/disabled.
-                for (size_t v = 0; v < host.vcu_health.size(); ++v) {
-                    host.vcu_health[v].markFaulted(now);
-                    auto aborted =
-                        host.workers[v]->abortAll();
-                    for (auto &step : aborted) {
-                        ++metrics_.steps_retried;
-                        ++host_retries_[static_cast<size_t>(host.id)];
-                        retried_counter_.inc();
-                        trace_.record(TraceEventType::StepRetried, now,
-                                      host.id, host.workers[v]->id(),
-                                      step.id, step.video_id);
-                        backlog_.push_front(step);
-                    }
-                }
-            }
+    if (host.in_repair ||
+        host.fault_count < cfg_.failure.host_fault_threshold)
+        return;
+    if (!repairs_.tryEnter(host.id, now)) {
+        // Repair cap reached. The tick engine retries on its next
+        // host rescan; the event engine waitlists the host and
+        // retries when a repair slot frees up (RepairDone).
+        if (ev_ != nullptr &&
+            ev_->repair_waitlisted[static_cast<size_t>(host.id)] == 0) {
+            ev_->repair_waitlisted[static_cast<size_t>(host.id)] = 1;
+            ev_->repair_waiting.push_back(host.id);
         }
+        return;
     }
-    for (int host_id : repairs_.collectRepaired(now)) {
-        auto &host = hosts_[static_cast<size_t>(host_id)];
-        host.in_repair = false;
-        host.fault_count = 0;
-        ++metrics_.hosts_repaired;
-        registry_.inc("cluster.hosts_repaired");
-        double &entered = repair_enter_[static_cast<size_t>(host_id)];
-        if (tracer_->enabled() && entered >= 0.0) {
-            tracer_->recordSimSpan(
-                "host_repair", "cluster", entered * 1e6, now * 1e6,
-                host_id, /*parent=*/0, kProcessSimHosts, "host",
-                static_cast<uint64_t>(host_id));
-        }
-        entered = -1.0;
-        for (size_t v = 0; v < host.vcu_health.size(); ++v) {
-            host.vcu_health[v] = VcuHealth{};
-            // A quarantined worker sat out until this repair; close
-            // its quarantine interval on the host lane.
-            const int gid = host.workers[v]->id();
-            double &quarantined =
-                quarantine_enter_[static_cast<size_t>(gid)];
-            if (tracer_->enabled() && quarantined >= 0.0) {
-                tracer_->recordSimSpan(
-                    "quarantine", "cluster", quarantined * 1e6,
-                    now * 1e6, gid, /*parent=*/0, kProcessSimHosts,
-                    "worker", static_cast<uint64_t>(gid));
+    host.in_repair = true;
+    repair_enter_[static_cast<size_t>(host.id)] = now;
+    // Everything on the host is drained/disabled.
+    for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+        host.vcu_health[v].markFaulted(now);
+        Worker *w = host.workers[v].get();
+        if (ev_ != nullptr) {
+            EventQueue::Handle &h =
+                ev_->completion_ev[static_cast<size_t>(w->id())];
+            if (h != EventQueue::kInvalidHandle) {
+                ev_->queue.cancel(h);
+                h = EventQueue::kInvalidHandle;
             }
-            quarantined = -1.0;
-            host.workers[v]->repairReset();
         }
+        auto aborted = w->abortAll();
+        in_flight_count_ -= aborted.size();
+        for (auto &step : aborted) {
+            ++metrics_.steps_retried;
+            ++host_retries_[static_cast<size_t>(host.id)];
+            retried_counter_.inc();
+            trace_.record(TraceEventType::StepRetried, now, host.id,
+                          w->id(), step.id, step.video_id);
+            backlog_.push_front(step);
+        }
+        scheduler_->refresh(*w);
+    }
+    if (ev_ != nullptr) {
+        ev_->queue.schedule(repairs_.completionTime(host.id),
+                            SimEventType::RepairDone, host.id);
+        ev_->work_added = true; // Aborted steps re-queued as retries.
     }
 }
 
 void
-ClusterSim::collectCompletions(double now, ClusterMetrics &metrics)
+ClusterSim::restoreHost(HostModel &host, double now)
+{
+    host.in_repair = false;
+    host.fault_count = 0;
+    ++metrics_.hosts_repaired;
+    registry_.inc("cluster.hosts_repaired");
+    double &entered = repair_enter_[static_cast<size_t>(host.id)];
+    if (tracer_->enabled() && entered >= 0.0) {
+        tracer_->recordSimSpan(
+            "host_repair", "cluster", entered * 1e6, now * 1e6,
+            host.id, /*parent=*/0, kProcessSimHosts, "host",
+            static_cast<uint64_t>(host.id));
+    }
+    entered = -1.0;
+    for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+        host.vcu_health[v] = VcuHealth{};
+        // A quarantined worker sat out until this repair; close
+        // its quarantine interval on the host lane.
+        const int gid = host.workers[v]->id();
+        double &quarantined =
+            quarantine_enter_[static_cast<size_t>(gid)];
+        if (tracer_->enabled() && quarantined >= 0.0) {
+            tracer_->recordSimSpan(
+                "quarantine", "cluster", quarantined * 1e6,
+                now * 1e6, gid, /*parent=*/0, kProcessSimHosts,
+                "worker", static_cast<uint64_t>(gid));
+        }
+        quarantined = -1.0;
+        host.workers[v]->repairReset();
+    }
+}
+
+void
+ClusterSim::manageRepairs(double now)
+{
+    // Hosts over the fault threshold go to repair (capped).
+    for (auto &host : hosts_)
+        maybeEnterRepair(host, now);
+    for (int host_id : repairs_.collectRepaired(now))
+        restoreHost(hosts_[static_cast<size_t>(host_id)], now);
+}
+
+void
+ClusterSim::processOutcome(HostModel &host, Worker *w,
+                           const StepOutcome &outcome, double now)
+{
+    // Both engines run every collected step through this; the
+    // operation and RNG-draw order here is the shared contract that
+    // keeps fault-free runs bit-identical between them.
+    const int vcu_gid = w->id();
+    const auto retryStep = [&](const TranscodeStep &step) {
+        ++metrics_.steps_retried;
+        ++host_retries_[static_cast<size_t>(host.id)];
+        retried_counter_.inc();
+        trace_.record(TraceEventType::StepRetried, now, host.id,
+                      w->id(), step.id, step.video_id);
+        backlog_.push_front(step);
+    };
+    // Worker execution interval on this worker's track, parented to
+    // the upload's pre-allocated e2e span.
+    const auto recordExec = [&](const StepOutcome &o, const char *name,
+                                double end) {
+        // The sampling check first: it spares unsampled steps (the
+        // vast majority at bench scale) the hash lookup.
+        if (!tracer_->enabled() || !spanSampled(o.step.id))
+            return;
+        const SloMonitor::Upload *up = slo_.find(o.step.id);
+        if (up == nullptr || up->span_id == 0)
+            return; // Upload not sampled for tracing.
+        tracer_->recordSimSpan(
+            name, "cluster", o.start_time * 1e6, end * 1e6,
+            1 + w->id(), up->span_id, kProcessSim, "step", o.step.id,
+            "video", o.step.video_id);
+    };
+    // Terminal completion: close the end-to-end upload span under
+    // its pre-allocated id and settle the SLO clock.
+    const auto finishUpload = [&](const StepOutcome &o) {
+        const SloMonitor::Upload *up =
+            tracer_->enabled() && spanSampled(o.step.id)
+                ? slo_.find(o.step.id)
+                : nullptr;
+        if (up != nullptr && up->span_id != 0) {
+            SpanRecord rec;
+            rec.name = "upload";
+            rec.category = "cluster";
+            rec.id = up->span_id;
+            rec.clock = SpanClock::Sim;
+            rec.begin_us = up->submit_time * 1e6;
+            rec.end_us = o.finish_time * 1e6;
+            rec.track = 0;
+            rec.process = kProcessSim;
+            rec.arg1_key = "step";
+            rec.arg1 = o.step.id;
+            rec.arg2_key = "video";
+            rec.arg2 = o.step.video_id;
+            tracer_->record(rec);
+        }
+        slo_.onComplete(o.step.id, o.finish_time);
+    };
+
+    if (outcome.ok)
+        recordExec(outcome, "execute", outcome.finish_time);
+    else
+        recordExec(outcome, "execute_failed", now);
+    if (!outcome.ok) {
+        // Hardware failure: retry at the cluster level; with the
+        // mitigation the worker aborts all of its other in-flight
+        // work too.
+        ++metrics_.steps_failed;
+        failed_counter_.inc();
+        trace_.record(TraceEventType::StepFailed, now, host.id,
+                      w->id(), outcome.step.id, outcome.step.video_id);
+        retryStep(outcome.step);
+        if (cfg_.failure.abort_on_failure) {
+            auto aborted = w->abortAll();
+            in_flight_count_ -= aborted.size();
+            for (auto &step : aborted)
+                retryStep(step);
+        }
+        return;
+    }
+    if (outcome.corrupt) {
+        trace_.record(TraceEventType::StepCorrupt, now, host.id,
+                      w->id(), outcome.step.id, outcome.step.video_id);
+        const bool detected =
+            rng_.bernoulli(cfg_.failure.integrity_detect_prob);
+        if (detected) {
+            ++metrics_.corrupt_detected;
+            registry_.inc("cluster.corrupt_detected");
+            blast_.recordDetectedCorruption(outcome.step.video_id,
+                                            vcu_gid);
+            retryStep(outcome.step);
+            if (cfg_.failure.abort_on_failure) {
+                auto aborted = w->abortAll();
+                in_flight_count_ -= aborted.size();
+                for (auto &step : aborted)
+                    retryStep(step);
+            }
+            ++host.fault_count;
+        } else {
+            ++metrics_.corrupt_escaped;
+            ++metrics_.steps_completed;
+            ++completed_total_;
+            ++host_completions_[static_cast<size_t>(host.id)];
+            registry_.inc("cluster.corrupt_escaped");
+            completed_counter_.inc();
+            trace_.record(TraceEventType::StepCompleted, now, host.id,
+                          w->id(), outcome.step.id,
+                          outcome.step.video_id);
+            metrics_.corrupt_pixels += outcome.step.outputPixels();
+            blast_.recordEscapedCorruption(outcome.step.video_id,
+                                           vcu_gid);
+            finishUpload(outcome);
+        }
+        return;
+    }
+    ++metrics_.steps_completed;
+    ++completed_total_;
+    ++host_completions_[static_cast<size_t>(host.id)];
+    completed_counter_.inc();
+    trace_.record(TraceEventType::StepCompleted, now, host.id,
+                  w->id(), outcome.step.id, outcome.step.video_id);
+    metrics_.output_pixels += outcome.step.outputPixels();
+    finishUpload(outcome);
+}
+
+void
+ClusterSim::collectWorker(HostModel &host, Worker *w, double now)
+{
+    auto outcomes = w->collectFinished(now);
+    in_flight_count_ -= outcomes.size();
+    for (auto &outcome : outcomes)
+        processOutcome(host, w, outcome, now);
+}
+
+void
+ClusterSim::collectCompletions(double now)
 {
     for (auto &host : hosts_) {
-        for (size_t v = 0; v < host.workers.size(); ++v) {
-            Worker *w = host.workers[v].get();
-            const int vcu_gid =
-                host.id * cfg_.vcus_per_host + static_cast<int>(v);
-            const auto retryStep = [&](const TranscodeStep &step) {
-                ++metrics.steps_retried;
-                ++host_retries_[static_cast<size_t>(host.id)];
-                retried_counter_.inc();
-                trace_.record(TraceEventType::StepRetried, now,
-                              host.id, w->id(), step.id,
-                              step.video_id);
-                backlog_.push_front(step);
-            };
-            // Worker execution interval on this worker's track,
-            // parented to the upload's pre-allocated e2e span.
-            const auto recordExec = [&](const StepOutcome &o,
-                                        const char *name, double end) {
-                // The sampling check first: it spares unsampled steps
-                // (the vast majority at bench scale) the hash lookup.
-                if (!tracer_->enabled() || !spanSampled(o.step.id))
-                    return;
-                const SloMonitor::Upload *up = slo_.find(o.step.id);
-                if (up == nullptr || up->span_id == 0)
-                    return; // Upload not sampled for tracing.
-                tracer_->recordSimSpan(
-                    name, "cluster", o.start_time * 1e6, end * 1e6,
-                    1 + w->id(), up->span_id, kProcessSim, "step",
-                    o.step.id, "video", o.step.video_id);
-            };
-            // Terminal completion: close the end-to-end upload span
-            // under its pre-allocated id and settle the SLO clock.
-            const auto finishUpload = [&](const StepOutcome &o) {
-                const SloMonitor::Upload *up =
-                    tracer_->enabled() && spanSampled(o.step.id)
-                        ? slo_.find(o.step.id)
-                        : nullptr;
-                if (up != nullptr && up->span_id != 0) {
-                    SpanRecord rec;
-                    rec.name = "upload";
-                    rec.category = "cluster";
-                    rec.id = up->span_id;
-                    rec.clock = SpanClock::Sim;
-                    rec.begin_us = up->submit_time * 1e6;
-                    rec.end_us = o.finish_time * 1e6;
-                    rec.track = 0;
-                    rec.process = kProcessSim;
-                    rec.arg1_key = "step";
-                    rec.arg1 = o.step.id;
-                    rec.arg2_key = "video";
-                    rec.arg2 = o.step.video_id;
-                    tracer_->record(rec);
-                }
-                slo_.onComplete(o.step.id, o.finish_time);
-            };
-            for (auto &outcome : w->collectFinished(now)) {
-                if (outcome.ok)
-                    recordExec(outcome, "execute",
-                               outcome.finish_time);
-                else
-                    recordExec(outcome, "execute_failed", now);
-                if (!outcome.ok) {
-                    // Hardware failure: retry at the cluster level;
-                    // with the mitigation the worker aborts all of
-                    // its other in-flight work too.
-                    ++metrics.steps_failed;
-                    failed_counter_.inc();
-                    trace_.record(TraceEventType::StepFailed, now,
-                                  host.id, w->id(), outcome.step.id,
-                                  outcome.step.video_id);
-                    retryStep(outcome.step);
-                    if (cfg_.failure.abort_on_failure) {
-                        for (auto &step : w->abortAll())
-                            retryStep(step);
-                    }
-                    continue;
-                }
-                if (outcome.corrupt) {
-                    trace_.record(TraceEventType::StepCorrupt, now,
-                                  host.id, w->id(), outcome.step.id,
-                                  outcome.step.video_id);
-                    const bool detected = rng_.bernoulli(
-                        cfg_.failure.integrity_detect_prob);
-                    if (detected) {
-                        ++metrics.corrupt_detected;
-                        registry_.inc("cluster.corrupt_detected");
-                        blast_.recordDetectedCorruption(
-                            outcome.step.video_id, vcu_gid);
-                        retryStep(outcome.step);
-                        if (cfg_.failure.abort_on_failure) {
-                            for (auto &step : w->abortAll())
-                                retryStep(step);
-                        }
-                        ++host.fault_count;
-                    } else {
-                        ++metrics.corrupt_escaped;
-                        ++metrics.steps_completed;
-                        ++completed_total_;
-                        ++host_completions_[static_cast<size_t>(
-                            host.id)];
-                        registry_.inc("cluster.corrupt_escaped");
-                        completed_counter_.inc();
-                        trace_.record(TraceEventType::StepCompleted,
-                                      now, host.id, w->id(),
-                                      outcome.step.id,
-                                      outcome.step.video_id);
-                        metrics.corrupt_pixels +=
-                            outcome.step.outputPixels();
-                        blast_.recordEscapedCorruption(
-                            outcome.step.video_id, vcu_gid);
-                        finishUpload(outcome);
-                    }
-                    continue;
-                }
-                ++metrics.steps_completed;
-                ++completed_total_;
-                ++host_completions_[static_cast<size_t>(host.id)];
-                completed_counter_.inc();
-                trace_.record(TraceEventType::StepCompleted, now,
-                              host.id, w->id(), outcome.step.id,
-                              outcome.step.video_id);
-                metrics.output_pixels += outcome.step.outputPixels();
-                finishUpload(outcome);
-            }
-        }
+        for (size_t v = 0; v < host.workers.size(); ++v)
+            collectWorker(host, host.workers[v].get(), now);
     }
 }
 
@@ -440,7 +502,11 @@ ClusterSim::scheduleBacklog(double now)
         const ResourceVector reservation =
             scheduler_->reservationFor(need);
         w->assign(step, reservation, now, service);
-        blast_.recordChunk(step.video_id, gid);
+        ++in_flight_count_;
+        if (ev_ != nullptr)
+            updateCompletionEvent(w);
+        if (cfg_.track_blast_radius)
+            blast_.recordChunk(step.video_id, gid);
         if (tracer_->enabled() && spanSampled(step.id)) {
             // Placement latency: submission (or requeue-covering
             // original submission) to this assignment, on the
@@ -459,12 +525,11 @@ ClusterSim::scheduleBacklog(double now)
 size_t
 ClusterSim::inFlightSteps() const
 {
-    size_t in_flight = 0;
-    for (const auto &host : hosts_) {
-        for (const auto &w : host.workers)
-            in_flight += w->runningSteps();
-    }
-    return in_flight;
+    // Maintained incrementally at every assign/collect/abort, so the
+    // per-tick (or per-event-batch) conservation audit and the fleet
+    // rollup are O(1) instead of a fleet-wide scan. Debug builds
+    // cross-check against the scan in checkConservation().
+    return static_cast<size_t>(in_flight_count_);
 }
 
 ConservationSnapshot
@@ -491,6 +556,23 @@ ClusterSim::checkConservation(double now)
     // and warn so a long bench run still finishes with evidence.
     const ConservationSnapshot snap = conservation();
     ++metrics_.conservation_checks;
+#ifndef NDEBUG
+    // Cross-check the incremental in-flight counter against a full
+    // worker scan — exactly the O(workers) cost the counter removes,
+    // so only on fleets small enough for tests to afford it.
+    if (totalVcus() <= 2048) {
+        size_t scanned = 0;
+        for (const auto &host : hosts_) {
+            for (const auto &w : host.workers)
+                scanned += w->runningSteps();
+        }
+        WSVA_ASSERT(scanned == static_cast<size_t>(in_flight_count_),
+                    "in-flight counter drift at t=%.3f: scan %zu vs "
+                    "counter %llu",
+                    now, scanned,
+                    static_cast<unsigned long long>(in_flight_count_));
+    }
+#endif
     if (!snap.holds()) {
         ++metrics_.conservation_violations;
         registry_.inc("cluster.conservation_violations");
@@ -554,6 +636,27 @@ ClusterSim::sampleTick(double now)
                      static_cast<double>(repairs_.inRepair()));
 }
 
+void
+ClusterSim::pullArrivals(const ArrivalFn &arrivals, double now,
+                         double dt)
+{
+    for (auto &step : arrivals(now, dt)) {
+        backlog_.push_back(step);
+        ++submitted_total_;
+        ++metrics_.steps_submitted;
+        submitted_counter_.inc();
+        trackUpload(step, now);
+    }
+}
+
+void
+ClusterSim::publishRollup(double now)
+{
+    fleet_.publish(buildFleetHealth(now));
+    if (registry_.enabled())
+        fleet_.exportGauges(registry_);
+}
+
 ClusterMetrics
 ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
 {
@@ -562,47 +665,48 @@ ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
     enc_util_samples_.reset();
     dec_util_samples_.reset();
     cpu_util_samples_.reset();
+    if (cfg_.engine == SimEngine::Event)
+        return runEvents(duration, dt, arrivals);
+    return runTicks(duration, dt, arrivals);
+}
 
+ClusterMetrics
+ClusterSim::runTicks(double duration, double dt,
+                     const ArrivalFn &arrivals)
+{
     const double start = clock_;
     double now = clock_;
     while (now < start + duration) {
         now += dt;
         clock_ = now;
-        if (arrivals) {
-            for (auto &step : arrivals(now, dt)) {
-                backlog_.push_back(step);
-                ++submitted_total_;
-                ++metrics_.steps_submitted;
-                submitted_counter_.inc();
-                trackUpload(step, now);
-            }
-        }
+        if (arrivals)
+            pullArrivals(arrivals, now, dt);
         injectFaults(now, dt);
         manageRepairs(now);
-        collectCompletions(now, metrics_);
+        collectCompletions(now);
         scheduleBacklog(now);
         checkConservation(now);
         sampleTick(now);
         slo_.onTick(now);
         ++ticks_;
         if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0 &&
-            ticks_ % cfg_.fleet_publish_every_ticks == 0) {
-            fleet_.publish(buildFleetHealth(now));
-            if (registry_.enabled())
-                fleet_.exportGauges(registry_);
-        }
+            ticks_ % cfg_.fleet_publish_every_ticks == 0)
+            publishRollup(now);
     }
 
     // Final drain of completions right at the horizon.
-    collectCompletions(now, metrics_);
+    collectCompletions(now);
     checkConservation(now);
+    return finishRun(start, now);
+}
+
+ClusterMetrics
+ClusterSim::finishRun(double start, double now)
+{
     // Publish a final rollup so /statusz reflects the drained state
     // even when the horizon fell between publish ticks.
-    if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0) {
-        fleet_.publish(buildFleetHealth(now));
-        if (registry_.enabled())
-            fleet_.exportGauges(registry_);
-    }
+    if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0)
+        publishRollup(now);
 
     metrics_.sim_seconds = now - start;
     metrics_.mpix_per_vcu = metrics_.output_pixels /
@@ -766,7 +870,12 @@ ClusterSim::exportJson(size_t max_trace_events) const
     out += ",\n\"slo\": ";
     out += slo_.exportJson(clock_);
     out += ",\n\"fleet_health\": ";
-    out += buildFleetHealth(clock_).toJson();
+    // Reuse the published (double-buffered) rollup rather than
+    // re-scanning every worker on each export; a live build is the
+    // fallback only when publishing is off and no snapshot exists.
+    const auto fleet_snap = fleet_.snapshot();
+    out += fleet_snap != nullptr ? fleet_snap->toJson()
+                                 : buildFleetHealth(clock_).toJson();
     out += strformat(
         ",\n\"conservation\": {\"submitted\": %llu, "
         "\"completed\": %llu, \"failed_terminal\": %llu, "

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cluster/consistent_hash.h"
+#include "cluster/event_queue.h"
 #include "cluster/failure.h"
 #include "cluster/fleet_health.h"
 #include "cluster/scheduler.h"
@@ -35,11 +36,33 @@ class DebugServer;
 
 namespace wsva::cluster {
 
+/**
+ * Run-loop engine. Tick scans every host and VCU once per dt —
+ * simple, and the reference semantics — but costs
+ * O(hosts x vcus_per_host) per tick whether anything happened or
+ * not, which caps fleets at a few hundred hosts. Event replaces the
+ * scan with a discrete-event core: an indexed min-heap of step
+ * completions, fault arrivals, repair completions, arrival batches
+ * and telemetry publishes, with worker state advanced lazily when an
+ * event touches it. Per-event cost is O(log E); a quiet fleet costs
+ * nothing. Fault-free runs produce identical ledgers in both
+ * engines; with faults the engines draw from the same distributions
+ * on different schedules (see DESIGN.md section 9).
+ */
+enum class SimEngine
+{
+    Tick = 0,
+    Event = 1,
+};
+
 /** Full cluster configuration. */
 struct ClusterConfig
 {
     int hosts = 4;
     int vcus_per_host = 20;
+
+    /** Run-loop engine (Tick = reference semantics, Event = scale). */
+    SimEngine engine = SimEngine::Tick;
 
     ResourceMappingPolicy mapping;
 
@@ -80,6 +103,15 @@ struct ClusterConfig
 
     /** Trace ring-buffer capacity (most recent events kept). */
     size_t trace_capacity = 1 << 16;
+
+    /**
+     * Track which VCUs touched which videos (blast-radius forensics).
+     * The tracker grows with distinct (video, VCU) pairs, which at
+     * 200k VCUs and millions of steps dominates memory; fleet-scale
+     * benches turn it off. Corruption *outcomes* (detected/escaped
+     * counters) are always recorded.
+     */
+    bool track_blast_radius = true;
 
     /**
      * Span tracing on the deterministic sim timeline (gated by
@@ -176,9 +208,13 @@ struct ClusterMetrics
     int vcus_disabled = 0;
     int workers_quarantined = 0;
 
-    /** Step-conservation invariant audits (one per tick). */
+    /** Step-conservation invariant audits (one per tick, or one per
+     *  event batch under SimEngine::Event). */
     uint64_t conservation_checks = 0;
     uint64_t conservation_violations = 0;
+
+    /** Events popped by the event engine (0 under SimEngine::Tick). */
+    uint64_t events_processed = 0;
 };
 
 /** One host: 20 VCUs, each with exclusive worker + health state. */
@@ -294,16 +330,57 @@ class ClusterSim
     std::string exportJson(size_t max_trace_events = 256) const;
 
   private:
+    // ---- Shared between both engines ----------------------------
+    /** Per-outcome bookkeeping (retry/corrupt/complete paths). The
+     *  operation and RNG-draw order is the contract both engines
+     *  share; collectWorker() drives it for every collected step. */
+    void processOutcome(HostModel &host, Worker *w,
+                        const StepOutcome &outcome, double now);
+    /** Collect finished (or failed) steps off one worker and run
+     *  processOutcome on each, keeping the in-flight counter. */
+    void collectWorker(HostModel &host, Worker *w, double now);
+    /** Threshold check + capped repair entry + host drain. Schedules
+     *  the RepairDone event / waitlists the host under the event
+     *  engine. */
+    void maybeEnterRepair(HostModel &host, double now);
+    /** Repair finished: reset health, close lifecycle spans. */
+    void restoreHost(HostModel &host, double now);
+    /** One arrival batch: pull from @p arrivals and ledger. */
+    void pullArrivals(const ArrivalFn &arrivals, double now, double dt);
+    /** Publish a fleet-health rollup (caller gates on cadence). */
+    void publishRollup(double now);
+    /** Shared run() epilogue: final publish + metrics_ fill-in. */
+    ClusterMetrics finishRun(double start, double now);
+
+    // ---- Tick engine --------------------------------------------
+    ClusterMetrics runTicks(double duration, double dt,
+                            const ArrivalFn &arrivals);
     void injectFaults(double now, double dt);
     void manageRepairs(double now);
-    void collectCompletions(double now, ClusterMetrics &metrics);
+    void collectCompletions(double now);
     void scheduleBacklog(double now);
     void checkConservation(double now);
     void sampleTick(double now);
+
+    // ---- Event engine (cluster_events.cc) -----------------------
+    ClusterMetrics runEvents(double duration, double dt,
+                             const ArrivalFn &arrivals);
+    void handleArrivalBatch(const ArrivalFn &arrivals, double now);
+    void handleHardFault(double now);
+    void handleSilentFault(double now);
+    void handleRepairDone(double now);
+    void handleWorkerDone(int gid, double now);
+    void handleSloEval(double now);
+    /** (Re)schedule the worker's single completion event to match
+     *  its earliest running finish time; cancels a stale one. */
+    void updateCompletionEvent(Worker *w);
+
     void trackUpload(const TranscodeStep &step, double now);
     /** Whether this step id is head-sampled for span tracing. */
     bool spanSampled(uint64_t step_id) const;
     Worker *workerAt(int host, int vcu);
+    Worker *workerByGid(int gid);
+    HostModel &hostOfGid(int gid);
 
     ClusterConfig cfg_;
     wsva::Rng rng_;
@@ -343,6 +420,32 @@ class ClusterSim
     uint64_t submitted_total_ = 0;
     uint64_t completed_total_ = 0;
     uint64_t failed_terminal_total_ = 0;
+
+    // Steps currently on workers, maintained incrementally at every
+    // assign/collect/abort so conservation checks and fleet rollups
+    // are O(1) instead of an O(workers) scan. Debug builds cross-
+    // check it against the full scan (small fleets only).
+    uint64_t in_flight_count_ = 0;
+
+    /** Live state of one runEvents() call (stack-owned there; ev_
+     *  points at it so shared helpers know the event engine is
+     *  driving and can schedule/cancel events). */
+    struct EventRun
+    {
+        EventQueue queue;
+        double dt = 0.0;
+        double end = 0.0; //!< start + duration (arrival-chain bound).
+        double hard_rate = 0.0; //!< Fleet-wide hard faults per second.
+        double silent_rate = 0.0;
+        const ArrivalFn *arrivals = nullptr;
+        //!< Per-worker pending completion event (gid-indexed).
+        std::vector<EventQueue::Handle> completion_ev;
+        std::deque<int> repair_waiting; //!< Hosts deferred by the cap.
+        std::vector<char> repair_waitlisted; //!< Dedup flag, host id.
+        bool work_added = false;       //!< Backlog dispatch needed.
+        bool capacity_changed = false; //!< A worker freed capacity.
+    };
+    EventRun *ev_ = nullptr; //!< Non-null only inside runEvents().
 
     // Time-weighted utilization accumulators.
     wsva::RunningStat enc_util_samples_;

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Discrete-event run loop for ClusterSim (SimEngine::Event).
+ *
+ * The tick engine scans every host and VCU once per dt; this engine
+ * touches a worker only when an event lands on it. Five event kinds
+ * drive the fleet (DESIGN.md section 9):
+ *
+ *  - ArrivalBatch: pull one dt's worth of arrivals, then reschedule.
+ *    Times accumulate exactly like the tick loop's `now += dt`, so
+ *    fault-free runs land on identical timestamps.
+ *  - HardFault / SilentFault: one fleet-level Poisson process per
+ *    kind at rate (per-VCU rate x total VCUs), with a uniformly
+ *    drawn victim discarded when it is not an active VCU. Thinning a
+ *    superposed process this way is exactly equivalent to running an
+ *    independent exponential clock per active VCU.
+ *  - RepairDone: scheduled at the repair queue's completion time
+ *    when a host enters repair; cap-deferred hosts sit on a waitlist
+ *    drained here instead of being rescanned every tick.
+ *  - WorkerDone: each worker keys at most one pending event to its
+ *    earliest running finish time; assignments and aborts cancel or
+ *    reschedule it (lazy state advancement).
+ *  - SloEval: per-dt bookkeeping (SLO window accounting, fleet-
+ *    health publish cadence), scheduled only when the SLO monitor or
+ *    observability actually consumes it — an unobserved quiet fleet
+ *    processes zero events per tick.
+ *
+ * Events at one timestamp are processed as a batch (the queue's type
+ * tie-break reproduces the tick engine's phase order), then a single
+ * backlog-dispatch pass runs if any event added work or freed
+ * capacity, then the step-conservation ledger is audited.
+ */
+
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace wsva::cluster {
+
+void
+ClusterSim::updateCompletionEvent(Worker *w)
+{
+    EventQueue::Handle &h =
+        ev_->completion_ev[static_cast<size_t>(w->id())];
+    const double next = w->nextFinishTime();
+    if (h != EventQueue::kInvalidHandle && ev_->queue.pending(h)) {
+        if (std::isfinite(next) && ev_->queue.timeOf(h) == next)
+            return; // Already keyed to the earliest finish.
+        ev_->queue.cancel(h);
+    }
+    h = EventQueue::kInvalidHandle;
+    if (std::isfinite(next))
+        h = ev_->queue.schedule(next, SimEventType::WorkerDone,
+                                w->id());
+}
+
+void
+ClusterSim::handleArrivalBatch(const ArrivalFn &arrivals, double now)
+{
+    if (arrivals)
+        pullArrivals(arrivals, now, ev_->dt);
+    // Dispatch even on an empty batch: the first batch also covers
+    // work submitted before run() (the tick engine's first tick
+    // schedules that backlog at the same time).
+    ev_->work_added = true;
+    if (arrivals && now < ev_->end)
+        ev_->queue.schedule(now + ev_->dt, SimEventType::ArrivalBatch);
+}
+
+void
+ClusterSim::handleHardFault(double now)
+{
+    const int gid = static_cast<int>(
+        rng_.uniformInt(static_cast<uint32_t>(totalVcus())));
+    ev_->queue.schedule(now + rng_.exponential(ev_->hard_rate),
+                        SimEventType::HardFault);
+    HostModel &host = hostOfGid(gid);
+    VcuHealth &health =
+        host.vcu_health[static_cast<size_t>(gid % cfg_.vcus_per_host)];
+    if (host.in_repair || health.disabled)
+        return; // Thinning: the victim is not an active VCU.
+    Worker *w = workerByGid(gid);
+    health.markFaulted(now);
+    ++host.fault_count;
+    ++metrics_.vcus_disabled;
+    registry_.inc("cluster.vcus_disabled");
+    trace_.record(TraceEventType::FaultInjected, now, host.id, gid);
+    scheduler_->refresh(*w);
+    // The tick engine fails a dead worker's in-flight steps in the
+    // same tick's collect phase; do it now, under the same outcome
+    // bookkeeping.
+    EventQueue::Handle &h =
+        ev_->completion_ev[static_cast<size_t>(gid)];
+    if (h != EventQueue::kInvalidHandle) {
+        ev_->queue.cancel(h);
+        h = EventQueue::kInvalidHandle;
+    }
+    collectWorker(host, w, now);
+    ev_->work_added = true; // Failed steps re-queued as retries.
+    maybeEnterRepair(host, now);
+}
+
+void
+ClusterSim::handleSilentFault(double now)
+{
+    const int gid = static_cast<int>(
+        rng_.uniformInt(static_cast<uint32_t>(totalVcus())));
+    ev_->queue.schedule(now + rng_.exponential(ev_->silent_rate),
+                        SimEventType::SilentFault);
+    HostModel &host = hostOfGid(gid);
+    VcuHealth &health =
+        host.vcu_health[static_cast<size_t>(gid % cfg_.vcus_per_host)];
+    if (host.in_repair || health.disabled || health.silent_fault)
+        return; // Thinning: not an active, still-honest VCU.
+    health.silent_fault = true;
+    health.speed_factor = cfg_.silent_speed_factor;
+    registry_.inc("cluster.silent_faults");
+    trace_.record(TraceEventType::SilentFaultInjected, now, host.id,
+                  gid);
+    // No completion-event change: a silent fault only affects steps
+    // assigned from now on (service times are fixed at assignment),
+    // exactly as under the tick engine.
+}
+
+void
+ClusterSim::handleRepairDone(double now)
+{
+    for (int host_id : repairs_.collectRepaired(now))
+        restoreHost(hosts_[static_cast<size_t>(host_id)], now);
+    ev_->capacity_changed = true;
+    // A repair slot freed up: admit waitlisted hosts until the cap
+    // blocks again (maybeEnterRepair re-waitlists the blocked one).
+    while (!ev_->repair_waiting.empty()) {
+        const int id = ev_->repair_waiting.front();
+        ev_->repair_waiting.pop_front();
+        ev_->repair_waitlisted[static_cast<size_t>(id)] = 0;
+        HostModel &host = hosts_[static_cast<size_t>(id)];
+        maybeEnterRepair(host, now);
+        if (!host.in_repair)
+            break; // Cap still full.
+    }
+}
+
+void
+ClusterSim::handleWorkerDone(int gid, double now)
+{
+    ev_->completion_ev[static_cast<size_t>(gid)] =
+        EventQueue::kInvalidHandle; // This event just fired.
+    HostModel &host = hostOfGid(gid);
+    Worker *w = workerByGid(gid);
+    collectWorker(host, w, now);
+    updateCompletionEvent(w); // Later steps may still be running.
+    ev_->capacity_changed = true;
+    // A detected-corrupt outcome bumps host.fault_count; the tick
+    // engine would notice on its next repair scan, we notice now.
+    maybeEnterRepair(host, now);
+}
+
+void
+ClusterSim::handleSloEval(double now)
+{
+    slo_.onTick(now);
+    ++ticks_;
+    if (cfg_.observability && cfg_.fleet_publish_every_ticks > 0 &&
+        ticks_ % cfg_.fleet_publish_every_ticks == 0) {
+        // Telemetry sampling rides the publish cadence here (the
+        // tick engine samples every tick — a documented delta).
+        sampleTick(now);
+        publishRollup(now);
+    }
+    if (now < ev_->end)
+        ev_->queue.schedule(now + ev_->dt, SimEventType::SloEval);
+}
+
+ClusterMetrics
+ClusterSim::runEvents(double duration, double dt,
+                      const ArrivalFn &arrivals)
+{
+    const double start = clock_;
+    const double end = start + duration;
+
+    // The tick engine checks `now < end` *before* adding dt, so it
+    // overshoots the horizon by up to one tick and accumulates time
+    // by repeated addition. Reproduce both exactly so fault-free
+    // event runs land on the same timestamps and final clock.
+    double horizon = start;
+    uint64_t tick_count = 0;
+    while (horizon < end) {
+        horizon += dt;
+        ++tick_count;
+    }
+
+    EventRun st;
+    st.dt = dt;
+    st.end = end;
+    st.arrivals = &arrivals;
+    st.hard_rate = cfg_.vcu_hard_fault_per_hour / 3600.0 * totalVcus();
+    st.silent_rate =
+        cfg_.vcu_silent_fault_per_hour / 3600.0 * totalVcus();
+    st.completion_ev.assign(static_cast<size_t>(totalVcus()),
+                            EventQueue::kInvalidHandle);
+    st.repair_waitlisted.assign(static_cast<size_t>(cfg_.hosts), 0);
+    ev_ = &st;
+
+    // Carried-over state from earlier run() calls: in-flight steps
+    // need completion events, in-repair hosts a RepairDone.
+    for (auto &host : hosts_) {
+        for (auto &w : host.workers) {
+            if (!w->idle())
+                updateCompletionEvent(w.get());
+        }
+        if (host.in_repair)
+            st.queue.schedule(
+                std::max(repairs_.completionTime(host.id), start),
+                SimEventType::RepairDone, host.id);
+    }
+
+    if (arrivals || !backlog_.empty())
+        st.queue.schedule(start + dt, SimEventType::ArrivalBatch);
+    if (st.hard_rate > 0)
+        st.queue.schedule(start + rng_.exponential(st.hard_rate),
+                          SimEventType::HardFault);
+    if (st.silent_rate > 0)
+        st.queue.schedule(start + rng_.exponential(st.silent_rate),
+                          SimEventType::SilentFault);
+    // Per-dt bookkeeping only when someone consumes it: with the SLO
+    // monitor off and observability off (or publishing disabled), a
+    // quiet fleet processes zero events per tick.
+    const bool tick_events =
+        cfg_.slo.enabled ||
+        (cfg_.observability && cfg_.fleet_publish_every_ticks > 0);
+    if (tick_events)
+        st.queue.schedule(start + dt, SimEventType::SloEval);
+
+    while (!st.queue.empty() && st.queue.nextTime() <= horizon) {
+        const double t = st.queue.nextTime();
+        st.work_added = false;
+        st.capacity_changed = false;
+        // Batch every event at this timestamp (the heap's type
+        // tie-break reproduces the tick phase order within the
+        // batch), then run one backlog-dispatch pass, then audit.
+        do {
+            const EventQueue::Event e = st.queue.pop();
+            clock_ = e.time;
+            ++metrics_.events_processed;
+            switch (e.type) {
+            case SimEventType::ArrivalBatch:
+                handleArrivalBatch(*st.arrivals, e.time);
+                break;
+            case SimEventType::HardFault:
+                handleHardFault(e.time);
+                break;
+            case SimEventType::SilentFault:
+                handleSilentFault(e.time);
+                break;
+            case SimEventType::RepairDone:
+                handleRepairDone(e.time);
+                break;
+            case SimEventType::WorkerDone:
+                handleWorkerDone(e.arg, e.time);
+                break;
+            case SimEventType::SloEval:
+                handleSloEval(e.time);
+                break;
+            case SimEventType::Publish:
+                publishRollup(e.time);
+                break;
+            }
+        } while (!st.queue.empty() && st.queue.nextTime() == t);
+        if (st.work_added || st.capacity_changed)
+            scheduleBacklog(t);
+        checkConservation(t);
+    }
+
+    clock_ = horizon;
+    if (!tick_events)
+        ticks_ += tick_count; // No SloEval chain counted them.
+    ev_ = nullptr;
+    return finishRun(start, horizon);
+}
+
+} // namespace wsva::cluster

@@ -49,6 +49,15 @@ RepairQueue::collectRepaired(double now)
     return done;
 }
 
+double
+RepairQueue::completionTime(int host_id) const
+{
+    auto it = repairing_.find(host_id);
+    WSVA_ASSERT(it != repairing_.end(),
+                "completionTime() for host %d not in repair", host_id);
+    return it->second;
+}
+
 bool
 RepairQueue::contains(int host_id) const
 {

@@ -69,6 +69,13 @@ class RepairQueue
     /** Hosts whose repair completes at or before @p now. */
     std::vector<int> collectRepaired(double now);
 
+    /**
+     * Scheduled completion time of a host currently in repair
+     * (asserts contains(host_id)). The event engine schedules its
+     * RepairDone event here instead of polling every tick.
+     */
+    double completionTime(int host_id) const;
+
     size_t inRepair() const { return repairing_.size(); }
     bool contains(int host_id) const;
 

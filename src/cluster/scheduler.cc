@@ -37,6 +37,137 @@ Scheduler::recordPick(bool placed)
     }
 }
 
+void
+AvailabilityIndex::build(std::vector<Worker *> workers)
+{
+    workers_ = std::move(workers);
+
+    // Index every dimension any worker's capacity defines.
+    dims_.clear();
+    for (const Worker *w : workers_) {
+        const ResourceVector &cap = w->capacity();
+        for (int i = 0; i < cap.size(); ++i) {
+            const uint16_t id = cap.dimId(i);
+            auto it = std::lower_bound(dims_.begin(), dims_.end(), id);
+            if (it == dims_.end() || *it != id)
+                dims_.insert(it, id);
+        }
+    }
+    WSVA_ASSERT(!workers_.empty(), "availability index over no workers");
+    WSVA_ASSERT(dims_.size() <=
+                    static_cast<size_t>(ResourceVector::kMaxDims),
+                "too many distinct dimensions to index (%zu)",
+                dims_.size());
+
+    leaves_ = 1;
+    while (leaves_ < workers_.size())
+        leaves_ <<= 1;
+    // Padding leaves hold -1 so no request ever descends into them.
+    tree_.assign(static_cast<size_t>(2) * leaves_ * dims_.size(), -1.0);
+    for (size_t pos = 0; pos < workers_.size(); ++pos)
+        writeLeaf(static_cast<int>(pos));
+    const size_t stride = dims_.size();
+    for (uint32_t node = leaves_ - 1; node >= 1; --node) {
+        double *dst = &tree_[node * stride];
+        const double *left = &tree_[(2 * node) * stride];
+        const double *right = &tree_[(2 * node + 1) * stride];
+        for (size_t d = 0; d < stride; ++d)
+            dst[d] = std::max(left[d], right[d]);
+    }
+}
+
+void
+AvailabilityIndex::writeLeaf(int pos)
+{
+    const Worker *w = workers_[pos];
+    const size_t stride = dims_.size();
+    double *leaf = &tree_[(leaves_ + static_cast<uint32_t>(pos)) * stride];
+    const bool eligible =
+        !w->refused() && !(w->vcu() != nullptr && w->vcu()->disabled);
+    if (!eligible) {
+        for (size_t d = 0; d < stride; ++d)
+            leaf[d] = -1.0;
+        return;
+    }
+    const ResourceVector &avail = w->available();
+    for (size_t d = 0; d < stride; ++d)
+        leaf[d] = avail.get(dims_[d]);
+}
+
+void
+AvailabilityIndex::update(int pos)
+{
+    writeLeaf(pos);
+    const size_t stride = dims_.size();
+    for (uint32_t node = (leaves_ + static_cast<uint32_t>(pos)) / 2;
+         node >= 1; node /= 2) {
+        double *dst = &tree_[node * stride];
+        const double *left = &tree_[(2 * node) * stride];
+        const double *right = &tree_[(2 * node + 1) * stride];
+        bool changed = false;
+        for (size_t d = 0; d < stride; ++d) {
+            const double m = std::max(left[d], right[d]);
+            if (dst[d] != m) {
+                dst[d] = m;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+}
+
+Worker *
+AvailabilityIndex::descend(uint32_t node, const double *need_amt,
+                           const ResourceVector &need) const
+{
+    const size_t stride = dims_.size();
+    const double *vals = &tree_[node * stride];
+    for (size_t d = 0; d < stride; ++d) {
+        if (need_amt[d] > vals[d] + 1e-9)
+            return nullptr;
+    }
+    if (node >= leaves_) {
+        const uint32_t pos = node - leaves_;
+        if (pos >= workers_.size())
+            return nullptr;
+        Worker *w = workers_[pos];
+        // Exact guard: the subtree max is necessary, not sufficient,
+        // and degenerate requests (no dimensions) prune nothing.
+        return w->canFit(need) ? w : nullptr;
+    }
+    if (Worker *w = descend(2 * node, need_amt, need))
+        return w;
+    return descend(2 * node + 1, need_amt, need);
+}
+
+Worker *
+AvailabilityIndex::firstFit(const ResourceVector &need) const
+{
+    double need_amt[ResourceVector::kMaxDims] = {};
+    std::fill(need_amt, need_amt + dims_.size(), 0.0);
+    for (int i = 0; i < need.size(); ++i) {
+        const auto it = std::lower_bound(dims_.begin(), dims_.end(),
+                                         need.dimId(i));
+        if (it == dims_.end() || *it != need.dimId(i)) {
+            // No worker capacity defines this dimension at all.
+            if (need.amount(i) > 1e-9)
+                return nullptr;
+            continue;
+        }
+        need_amt[it - dims_.begin()] = need.amount(i);
+    }
+    return descend(1, need_amt, need);
+}
+
+size_t
+AvailabilityIndex::capacityBytes() const
+{
+    return tree_.capacity() * sizeof(double) +
+           dims_.capacity() * sizeof(uint16_t) +
+           workers_.capacity() * sizeof(Worker *);
+}
+
 BinPackScheduler::BinPackScheduler(std::vector<Worker *> workers)
     : workers_(std::move(workers))
 {
@@ -46,13 +177,63 @@ BinPackScheduler::BinPackScheduler(std::vector<Worker *> workers)
               });
 }
 
+BinPackScheduler::~BinPackScheduler()
+{
+    if (indexed_) {
+        for (Worker *w : workers_)
+            w->setAvailabilityListener(nullptr, -1);
+    }
+}
+
+void
+BinPackScheduler::enableIndex()
+{
+    if (indexed_ || workers_.empty())
+        return;
+    index_.build(workers_);
+    int max_id = 0;
+    for (const Worker *w : workers_)
+        max_id = std::max(max_id, w->id());
+    pos_by_id_.assign(static_cast<size_t>(max_id) + 1, -1);
+    for (size_t pos = 0; pos < workers_.size(); ++pos) {
+        pos_by_id_[workers_[pos]->id()] = static_cast<int>(pos);
+        workers_[pos]->setAvailabilityListener(this,
+                                               static_cast<int>(pos));
+    }
+    indexed_ = true;
+}
+
+void
+BinPackScheduler::refresh(Worker &worker)
+{
+    if (!indexed_)
+        return;
+    const int pos = pos_by_id_[worker.id()];
+    WSVA_ASSERT(pos >= 0, "refresh() for an unindexed worker %d",
+                worker.id());
+    index_.update(pos);
+}
+
+void
+BinPackScheduler::onWorkerAvailabilityChanged(Worker &worker, int tag)
+{
+    (void)worker;
+    index_.update(tag);
+}
+
 Worker *
 BinPackScheduler::pick(const ResourceVector &need)
 {
     // First fit by worker number against the availability cache
     // (Figure 6: Worker 0 lacks decode resources -> Worker 1 takes
     // the request; fully idle trailing workers become stop
-    // candidates).
+    // candidates). The indexed path returns the identical worker via
+    // the segment tree.
+    if (indexed_) {
+        Worker *w = index_.firstFit(need);
+        recordPick(w != nullptr);
+        return w;
+    }
     for (Worker *w : workers_) {
         if (w->canFit(need)) {
             recordPick(true);

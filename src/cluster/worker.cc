@@ -43,6 +43,7 @@ Worker::assign(const TranscodeStep &step, const ResourceVector &need,
     available_.subtract(need);
     WSVA_ASSERT(available_.nonNegative(), "negative availability");
     running_.push_back({step, need, now, now + service_seconds * factor});
+    notifyAvailability();
     if (trace_ != nullptr) {
         trace_->record(TraceEventType::StepScheduled, now, -1, id_,
                        step.id, step.video_id);
@@ -86,6 +87,8 @@ Worker::collectFinished(double now)
             ++it;
         }
     }
+    if (!out.empty())
+        notifyAvailability();
     return out;
 }
 
@@ -99,6 +102,8 @@ Worker::abortAll()
     }
     running_.clear();
     needs_screen_ = true;
+    if (!aborted.empty())
+        notifyAvailability();
     return aborted;
 }
 
@@ -109,6 +114,7 @@ Worker::repairReset()
     available_ = capacity_;
     needs_screen_ = false;
     refused_ = false;
+    notifyAvailability();
 }
 
 double

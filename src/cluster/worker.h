@@ -13,6 +13,7 @@
 #ifndef WSVA_CLUSTER_WORKER_H
 #define WSVA_CLUSTER_WORKER_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -66,6 +67,24 @@ struct StepOutcome
     bool corrupt = false;  //!< Completed but output is garbage.
     double start_time = 0.0; //!< When the worker began the step.
     double finish_time = 0.0;
+};
+
+class Worker;
+
+/**
+ * Observer for worker availability changes. The bin-packing
+ * scheduler's availability index registers itself here so that every
+ * assign/collect/abort/reset keeps the index coherent without the
+ * sim having to remember which mutations matter. Callers that mutate
+ * a worker's VCU health directly (fault injection) must additionally
+ * call Scheduler::refresh(), since health lives outside the worker.
+ */
+class WorkerAvailabilityListener
+{
+  public:
+    virtual ~WorkerAvailabilityListener() = default;
+    /** @p tag is the value registered alongside the listener. */
+    virtual void onWorkerAvailabilityChanged(Worker &worker, int tag) = 0;
 };
 
 /** One worker process. */
@@ -139,11 +158,40 @@ class Worker
 
     /** Quarantine: the worker refused its VCU after a failed screen;
      *  it takes no work until the host is repaired. */
-    void setRefused(bool value) { refused_ = value; }
+    void setRefused(bool value)
+    {
+        refused_ = value;
+        notifyAvailability();
+    }
     bool refused() const { return refused_; }
 
     /** Host came back from repair: fresh worker state. */
     void repairReset();
+
+    /**
+     * Earliest finish time over the running steps, +infinity when
+     * idle. The event engine keys each worker's (single) pending
+     * completion event to this.
+     */
+    double nextFinishTime() const
+    {
+        double earliest = std::numeric_limits<double>::infinity();
+        for (const auto &r : running_)
+            earliest = std::min(earliest, r.finish_time);
+        return earliest;
+    }
+
+    /**
+     * Register an availability observer (pass nullptr to detach).
+     * Fired after any mutation of available_/refused_ state; @p tag
+     * is echoed back (the index's dense position for this worker).
+     */
+    void setAvailabilityListener(WorkerAvailabilityListener *listener,
+                                 int tag)
+    {
+        listener_ = listener;
+        listener_tag_ = tag;
+    }
 
     size_t runningSteps() const { return running_.size(); }
     bool idle() const { return running_.empty(); }
@@ -163,6 +211,12 @@ class Worker
         double finish_time;
     };
 
+    void notifyAvailability()
+    {
+        if (listener_ != nullptr)
+            listener_->onWorkerAvailabilityChanged(*this, listener_tag_);
+    }
+
     int id_;
     WorkerType type_;
     ResourceVector capacity_;
@@ -173,6 +227,8 @@ class Worker
     bool refused_ = false;
     wsva::MetricsRegistry *metrics_ = nullptr;
     wsva::TraceLog *trace_ = nullptr;
+    WorkerAvailabilityListener *listener_ = nullptr;
+    int listener_tag_ = -1;
 };
 
 /** Capacity vector of a standard VCU worker (one VCU). */

@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Event-engine scale suite: tick-vs-event equivalence, event-engine
+ * determinism, telemetry gating, concurrent scrapes during an event
+ * run, and the conservation + worker/host/rack partition invariants
+ * at a 1000-host fleet under combined faults with a capped repair
+ * queue.
+ *
+ * Equivalence contract (DESIGN.md section 9): with no fault processes
+ * the two engines consume zero RNG and land every arrival, placement,
+ * and completion on identical timestamps — the ledgers must match
+ * *exactly* as long as capacity never blocks the queue (a blocked
+ * step is re-dispatched at the next tick by the tick engine but at
+ * the exact moment capacity frees by the event engine, which is the
+ * one intentional timing refinement). With faults, the engines draw
+ * from the same distributions on different schedules, so runs are
+ * compared statistically, not bitwise.
+ */
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+namespace wsva::cluster {
+namespace {
+
+using wsva::video::codec::CodecType;
+
+ArrivalFn
+steadyArrivals(int per_tick,
+               wsva::video::Resolution res = {1920, 1080})
+{
+    auto counter = std::make_shared<uint64_t>(0);
+    return [per_tick, res, counter](double, double) {
+        std::vector<TranscodeStep> steps;
+        for (int i = 0; i < per_tick; ++i) {
+            const uint64_t id = (*counter)++;
+            steps.push_back(makeMotStep(id, id / 8,
+                                        static_cast<int>(id % 8), res,
+                                        CodecType::VP9));
+        }
+        return steps;
+    };
+}
+
+TEST(FleetScale, TickAndEventEnginesMatchExactlyFaultFree)
+{
+    // Light load so capacity never blocks the head of the queue:
+    // then both engines place every step at its arrival tick and the
+    // whole run is deterministic with zero RNG draws, so the final
+    // ledgers must be *identical*, not just statistically close.
+    ClusterConfig cfg;
+    cfg.hosts = 2;
+    cfg.vcus_per_host = 4;
+    cfg.seed = 7;
+
+    ClusterConfig tick_cfg = cfg;
+    tick_cfg.engine = SimEngine::Tick;
+    ClusterSim tick_sim(tick_cfg);
+    const auto tick_m = tick_sim.run(300.0, 1.0, steadyArrivals(1));
+
+    ClusterConfig event_cfg = cfg;
+    event_cfg.engine = SimEngine::Event;
+    ClusterSim event_sim(event_cfg);
+    const auto event_m = event_sim.run(300.0, 1.0, steadyArrivals(1));
+
+    // Scenario precondition: nothing ever blocked.
+    ASSERT_EQ(tick_m.sched_rejected, 0u);
+    ASSERT_EQ(event_m.sched_rejected, 0u);
+
+    EXPECT_EQ(event_m.steps_submitted, tick_m.steps_submitted);
+    EXPECT_EQ(event_m.steps_completed, tick_m.steps_completed);
+    EXPECT_EQ(event_m.steps_failed, tick_m.steps_failed);
+    EXPECT_EQ(event_m.steps_retried, tick_m.steps_retried);
+    EXPECT_EQ(event_m.steps_in_flight, tick_m.steps_in_flight);
+    EXPECT_EQ(event_m.backlog_remaining, tick_m.backlog_remaining);
+    EXPECT_DOUBLE_EQ(event_m.output_pixels, tick_m.output_pixels);
+    EXPECT_DOUBLE_EQ(event_m.sim_seconds, tick_m.sim_seconds);
+    EXPECT_GT(event_m.steps_completed, 200u);
+    EXPECT_GT(event_m.events_processed, 0u);
+    EXPECT_EQ(tick_m.events_processed, 0u);
+
+    const auto tick_snap = tick_sim.conservation();
+    const auto event_snap = event_sim.conservation();
+    EXPECT_TRUE(tick_snap.holds());
+    EXPECT_TRUE(event_snap.holds());
+    EXPECT_EQ(event_snap.submitted, tick_snap.submitted);
+    EXPECT_EQ(event_snap.completed, tick_snap.completed);
+    EXPECT_EQ(event_snap.in_flight, tick_snap.in_flight);
+    EXPECT_EQ(event_snap.backlog, tick_snap.backlog);
+
+    // The registry saw the identical step stream.
+    EXPECT_EQ(event_sim.metricsRegistry().counter(
+                  "cluster.steps_completed"),
+              tick_sim.metricsRegistry().counter(
+                  "cluster.steps_completed"));
+}
+
+TEST(FleetScale, TickAndEventDrainPreSubmittedWorkIdentically)
+{
+    // No arrival function at all: pre-submitted work must dispatch
+    // on the first tick boundary and drain to the identical ledger.
+    for (const SimEngine engine :
+         {SimEngine::Tick, SimEngine::Event}) {
+        ClusterConfig cfg;
+        cfg.hosts = 1;
+        cfg.vcus_per_host = 4;
+        cfg.seed = 11;
+        cfg.engine = engine;
+        ClusterSim sim(cfg);
+        for (uint64_t i = 0; i < 24; ++i)
+            sim.submit(
+                makeMotStep(i, i, 0, {1920, 1080}, CodecType::VP9));
+        const auto m = sim.run(180.0, 1.0);
+        EXPECT_EQ(m.steps_completed, 24u)
+            << "engine " << static_cast<int>(engine);
+        EXPECT_EQ(m.backlog_remaining, 0u);
+        EXPECT_EQ(m.steps_in_flight, 0u);
+        EXPECT_TRUE(sim.conservation().holds());
+        EXPECT_EQ(m.conservation_violations, 0u);
+    }
+}
+
+TEST(FleetScale, EventEngineIsDeterministic)
+{
+    // Same seed, same arrivals, faults on: two event runs must agree
+    // on every count (the heap's (time, type, seq) ordering leaves
+    // no room for nondeterminism).
+    ClusterMetrics runs[2];
+    ConservationSnapshot snaps[2];
+    for (int i = 0; i < 2; ++i) {
+        ClusterConfig cfg;
+        cfg.hosts = 4;
+        cfg.vcus_per_host = 8;
+        cfg.seed = 1234;
+        cfg.engine = SimEngine::Event;
+        cfg.vcu_hard_fault_per_hour = 10.0;
+        cfg.vcu_silent_fault_per_hour = 10.0;
+        cfg.failure.host_fault_threshold = 2;
+        cfg.failure.repair_cap = 1;
+        cfg.failure.repair_seconds = 120.0;
+        ClusterSim sim(cfg);
+        runs[i] = sim.run(900.0, 1.0, steadyArrivals(4));
+        snaps[i] = sim.conservation();
+        EXPECT_TRUE(snaps[i].holds());
+    }
+    EXPECT_EQ(runs[0].steps_completed, runs[1].steps_completed);
+    EXPECT_EQ(runs[0].steps_retried, runs[1].steps_retried);
+    EXPECT_EQ(runs[0].steps_failed, runs[1].steps_failed);
+    EXPECT_EQ(runs[0].vcus_disabled, runs[1].vcus_disabled);
+    EXPECT_EQ(runs[0].hosts_repaired, runs[1].hosts_repaired);
+    EXPECT_EQ(runs[0].events_processed, runs[1].events_processed);
+    EXPECT_EQ(snaps[0].completed, snaps[1].completed);
+    EXPECT_EQ(snaps[0].backlog, snaps[1].backlog);
+    // The scenario exercised the fault machinery.
+    EXPECT_GT(runs[0].vcus_disabled, 0);
+    EXPECT_GT(runs[0].steps_retried, 0u);
+}
+
+TEST(FleetScale, EventMatchesTickUnderFaultsStatistically)
+{
+    // With faults the engines sample the same Poisson processes on
+    // different schedules (per-tick thinned Bernoulli vs exponential
+    // arrivals), so seeded runs differ bitwise but must agree in
+    // aggregate. Both runs are deterministic for fixed seeds, so the
+    // tolerances cannot flake.
+    ClusterConfig cfg;
+    cfg.hosts = 4;
+    cfg.vcus_per_host = 8;
+    cfg.seed = 99;
+    cfg.vcu_hard_fault_per_hour = 8.0;
+    cfg.failure.host_fault_threshold = 2;
+    cfg.failure.repair_cap = 2;
+    cfg.failure.repair_seconds = 300.0;
+
+    ClusterConfig tick_cfg = cfg;
+    tick_cfg.engine = SimEngine::Tick;
+    ClusterSim tick_sim(tick_cfg);
+    const auto tick_m = tick_sim.run(1800.0, 1.0, steadyArrivals(3));
+
+    ClusterConfig event_cfg = cfg;
+    event_cfg.engine = SimEngine::Event;
+    ClusterSim event_sim(event_cfg);
+    const auto event_m = event_sim.run(1800.0, 1.0, steadyArrivals(3));
+
+    EXPECT_EQ(event_m.steps_submitted, tick_m.steps_submitted);
+    EXPECT_TRUE(tick_sim.conservation().holds());
+    EXPECT_TRUE(event_sim.conservation().holds());
+    // Fault exposure: same expected count; allow a factor-2 band
+    // around each other (hundreds of expected faults per run).
+    EXPECT_GT(event_m.vcus_disabled, 0);
+    EXPECT_GT(tick_m.vcus_disabled, 0);
+    EXPECT_LT(event_m.vcus_disabled, 2 * tick_m.vcus_disabled + 16);
+    EXPECT_LT(tick_m.vcus_disabled, 2 * event_m.vcus_disabled + 16);
+    // Throughput within 15% of each other.
+    const double c_tick = static_cast<double>(tick_m.steps_completed);
+    const double c_event =
+        static_cast<double>(event_m.steps_completed);
+    EXPECT_GT(c_event, 0.85 * c_tick);
+    EXPECT_LT(c_event, 1.15 * c_tick + 16.0);
+}
+
+TEST(FleetScale, ObservabilityOffSkipsTelemetryEventsNotOutcomes)
+{
+    // Satellite of the event core: with observability off the event
+    // engine schedules no telemetry bookkeeping at all, yet every
+    // step outcome is identical (recording never consumes RNG).
+    ClusterMetrics m[2];
+    for (int obs = 0; obs < 2; ++obs) {
+        ClusterConfig cfg;
+        cfg.hosts = 2;
+        cfg.vcus_per_host = 8;
+        cfg.seed = 55;
+        cfg.engine = SimEngine::Event;
+        cfg.observability = obs == 1;
+        cfg.slo.enabled = false; // SLO accounting is not telemetry.
+        cfg.vcu_hard_fault_per_hour = 6.0;
+        cfg.failure.host_fault_threshold = 2;
+        ClusterSim sim(cfg);
+        m[obs] = sim.run(600.0, 1.0, steadyArrivals(3));
+        if (obs == 0) {
+            EXPECT_EQ(sim.metricsRegistry().counter(
+                          "cluster.steps_completed"),
+                      0u);
+            EXPECT_EQ(sim.traceLog().recorded(), 0u);
+        }
+    }
+    EXPECT_EQ(m[0].steps_completed, m[1].steps_completed);
+    EXPECT_EQ(m[0].steps_retried, m[1].steps_retried);
+    EXPECT_EQ(m[0].vcus_disabled, m[1].vcus_disabled);
+    // The observed run pays SloEval/publish events; the dark run
+    // must not.
+    EXPECT_LT(m[0].events_processed, m[1].events_processed);
+}
+
+TEST(FleetScale, ConservationAndPartitionInvariantAt1kHosts)
+{
+    // The headline scale invariant: 1000 hosts / 20000 VCUs under
+    // combined hard+silent faults squeezed through a capped repair
+    // queue. The ledger must balance at every event batch and the
+    // fleet rollup must partition every worker into exactly one
+    // host and every host into exactly one rack — all within a small
+    // event budget (no hidden per-tick fleet scans).
+    ClusterConfig cfg;
+    cfg.hosts = 1000;
+    cfg.vcus_per_host = 20;
+    cfg.hosts_per_rack = 40;
+    cfg.seed = 2021;
+    cfg.engine = SimEngine::Event;
+    cfg.observability = false;
+    cfg.slo.enabled = false;
+    cfg.track_blast_radius = false;
+    cfg.vcu_hard_fault_per_hour = 0.4;
+    cfg.vcu_silent_fault_per_hour = 0.4;
+    cfg.failure.host_fault_threshold = 2;
+    cfg.failure.repair_cap = 3;
+    cfg.failure.repair_seconds = 600.0;
+    ClusterSim sim(cfg);
+
+    const auto m = sim.run(120.0, 1.0, steadyArrivals(200));
+
+    EXPECT_EQ(m.conservation_violations, 0u);
+    const ConservationSnapshot snap = sim.conservation();
+    EXPECT_TRUE(snap.holds());
+    EXPECT_EQ(m.steps_submitted, 24000u);
+    EXPECT_GT(m.steps_completed, 0u);
+    // The fault machinery really ran at scale.
+    EXPECT_GT(m.vcus_disabled, 0);
+    EXPECT_GT(m.steps_retried, 0u);
+
+    // Small event budget: roughly one event per step completion plus
+    // faults, repairs, and arrival batches — nowhere near the
+    // hosts x vcus x ticks = 2.4M cost a scanning engine would pay.
+    EXPECT_GT(m.events_processed, 0u);
+    EXPECT_LT(m.events_processed, 400000u);
+
+    // Partition invariant: every worker counted exactly once at the
+    // host level, every host exactly once at the rack level, and the
+    // cluster total equals the provisioned fleet.
+    const auto fleet = sim.buildFleetHealth(120.0);
+    const uint64_t total =
+        static_cast<uint64_t>(sim.totalVcus());
+    ASSERT_EQ(fleet.hosts.size(), 1000u);
+    uint64_t host_sum = 0;
+    for (const auto &host : fleet.hosts) {
+        EXPECT_EQ(host.counts.total(),
+                  static_cast<uint64_t>(cfg.vcus_per_host));
+        host_sum += host.counts.total();
+    }
+    EXPECT_EQ(host_sum, total);
+    ASSERT_EQ(fleet.racks.size(), 25u); // 1000 hosts / 40 per rack.
+    uint64_t rack_sum = 0;
+    for (const auto &rack : fleet.racks)
+        rack_sum += rack.counts.total();
+    EXPECT_EQ(rack_sum, total);
+    EXPECT_EQ(fleet.cluster.total(), total);
+    EXPECT_EQ(fleet.in_flight, snap.in_flight);
+    EXPECT_EQ(fleet.backlog, snap.backlog);
+}
+
+TEST(FleetScale, ScrapesRaceTheEventLoopSafely)
+{
+    // Concurrent /statusz-style scrapes while the event engine runs:
+    // scrape threads may only touch the double-buffered board, which
+    // must stay coherent under the TSan preset.
+    ClusterConfig cfg;
+    cfg.hosts = 8;
+    cfg.vcus_per_host = 8;
+    cfg.seed = 77;
+    cfg.engine = SimEngine::Event;
+    cfg.fleet_publish_every_ticks = 5;
+    cfg.vcu_hard_fault_per_hour = 5.0;
+    cfg.failure.host_fault_threshold = 2;
+    ClusterSim sim(cfg);
+
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> scrapes{0};
+    std::thread scraper([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            const auto snap = sim.fleetHealth().snapshot();
+            if (snap != nullptr) {
+                volatile size_t sink = snap->toText().size();
+                (void)sink;
+                scrapes.fetch_add(1, std::memory_order_relaxed);
+            }
+        }
+    });
+    const auto m = sim.run(600.0, 1.0, steadyArrivals(4));
+    stop.store(true, std::memory_order_release);
+    scraper.join();
+
+    EXPECT_GT(scrapes.load(), 0u);
+    EXPECT_GT(m.steps_completed, 0u);
+    EXPECT_TRUE(sim.conservation().holds());
+}
+
+} // namespace
+} // namespace wsva::cluster

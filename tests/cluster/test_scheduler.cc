@@ -4,6 +4,8 @@
 
 #include <memory>
 
+#include "common/rng.h"
+
 namespace wsva::cluster {
 namespace {
 
@@ -134,6 +136,121 @@ TEST_F(SchedulerTest, DisabledVcuSkipped)
     Worker *w = sched.pick(need);
     ASSERT_NE(w, nullptr);
     EXPECT_EQ(w->id(), 1);
+}
+
+TEST(AvailabilityIndex, IndexedPicksMatchLinearScanUnderChurn)
+{
+    // The segment-tree index must give *identical* first-fit answers
+    // to the linear scan through an arbitrary mix of assigns,
+    // completions, aborts, health flips, quarantines, and repairs.
+    constexpr int kWorkers = 57; // Odd size: exercises tree padding.
+    std::vector<std::unique_ptr<Worker>> indexed_own, linear_own;
+    std::vector<Worker *> indexed, linear;
+    std::vector<VcuHealth> indexed_health(kWorkers), linear_health(kWorkers);
+    for (int i = 0; i < kWorkers; ++i) {
+        indexed_own.push_back(std::make_unique<Worker>(
+            i, WorkerType::Vcu, vcuWorkerCapacity()));
+        linear_own.push_back(std::make_unique<Worker>(
+            i, WorkerType::Vcu, vcuWorkerCapacity()));
+        indexed_own[i]->bindVcu(&indexed_health[i]);
+        linear_own[i]->bindVcu(&linear_health[i]);
+        indexed.push_back(indexed_own[i].get());
+        linear.push_back(linear_own[i].get());
+    }
+    BinPackScheduler indexed_sched(indexed);
+    indexed_sched.enableIndex();
+    ASSERT_TRUE(indexed_sched.indexed());
+    BinPackScheduler linear_sched(linear);
+    ASSERT_FALSE(linear_sched.indexed());
+
+    wsva::Rng rng(99);
+    double now = 0.0;
+    uint64_t next_step = 0;
+    int placed = 0, rejected = 0;
+    for (int op = 0; op < 4000; ++op) {
+        now += 0.25;
+        const int kind = rng.uniformRange(0, 9);
+        if (kind < 6) {
+            // Place a random-shaped request through both schedulers.
+            ResourceVector need{
+                {kResEncodeMillicores,
+                 rng.uniformReal(100.0, 9000.0)},
+                {kResDecodeMillicores, rng.uniformReal(0.0, 2800.0)},
+                {kResDramBytes, rng.uniformReal(1e8, 4e9)}};
+            Worker *a = indexed_sched.pick(need);
+            Worker *b = linear_sched.pick(need);
+            if (a == nullptr) {
+                EXPECT_EQ(b, nullptr) << "op " << op;
+                ++rejected;
+                continue;
+            }
+            ASSERT_NE(b, nullptr) << "op " << op;
+            ASSERT_EQ(a->id(), b->id()) << "op " << op;
+            const double service = rng.uniformReal(1.0, 20.0);
+            TranscodeStep s = makeMotStep(next_step, next_step, 0,
+                                          {1920, 1080}, CodecType::VP9);
+            ++next_step;
+            a->assign(s, need, now, service);
+            b->assign(s, need, now, service);
+            ++placed;
+        } else if (kind < 8) {
+            // Advance time on one worker pair: collect completions.
+            const int v = rng.uniformRange(0, kWorkers - 1);
+            (void)indexed[v]->collectFinished(now);
+            (void)linear[v]->collectFinished(now);
+        } else if (kind == 8) {
+            // Health churn: fault or un-fault one VCU.
+            const int v = rng.uniformRange(0, kWorkers - 1);
+            if (indexed_health[v].disabled) {
+                indexed_health[v] = VcuHealth{};
+                linear_health[v] = VcuHealth{};
+                indexed[v]->repairReset();
+                linear[v]->repairReset();
+            } else {
+                indexed_health[v].markFaulted(now);
+                linear_health[v].markFaulted(now);
+                (void)indexed[v]->abortAll();
+                (void)linear[v]->abortAll();
+                // Health lives outside the worker: the index only
+                // hears about it via refresh().
+                indexed_sched.refresh(*indexed[v]);
+                linear_sched.refresh(*linear[v]);
+            }
+        } else {
+            // Quarantine toggle.
+            const int v = rng.uniformRange(0, kWorkers - 1);
+            const bool refuse = !indexed[v]->refused();
+            indexed[v]->setRefused(refuse);
+            linear[v]->setRefused(refuse);
+        }
+    }
+    // The churn must have exercised both outcomes.
+    EXPECT_GT(placed, 100);
+    EXPECT_GT(rejected, 10);
+}
+
+TEST(AvailabilityIndex, RootRejectIsCheapAndCorrect)
+{
+    // A request larger than every worker's headroom must be rejected
+    // (at the root, without touching leaves — behaviorally: still
+    // rejected, and stats count it).
+    std::vector<std::unique_ptr<Worker>> own;
+    std::vector<Worker *> raw;
+    for (int i = 0; i < 16; ++i) {
+        own.push_back(std::make_unique<Worker>(i, WorkerType::Vcu,
+                                               vcuWorkerCapacity()));
+        raw.push_back(own[i].get());
+    }
+    BinPackScheduler sched(raw);
+    sched.enableIndex();
+    ResourceVector huge{{kResEncodeMillicores, 50000.0}};
+    EXPECT_EQ(sched.pick(huge), nullptr);
+    EXPECT_EQ(sched.stats().rejected, 1u);
+    EXPECT_GT(sched.indexBytes(), 0u);
+
+    // A dimension no capacity defines can never fit.
+    ResourceVector exotic{{"exotic_dim", 1.0}};
+    EXPECT_EQ(sched.pick(exotic), nullptr);
 }
 
 } // namespace
