@@ -13,7 +13,7 @@ build_dir=${1:-"$repo_root/build"}
 # instead of silently emitting a subset of the BENCH_*.json files.
 missing=""
 for bench in bench_parallel_pipeline bench_cluster bench_optimizer \
-             bench_observability bench_fleet_scale; do
+             bench_observability bench_fleet_scale bench_live_surge; do
     [ -x "$build_dir/bench/$bench" ] || missing="$missing $bench"
 done
 if [ -n "$missing" ]; then
@@ -76,6 +76,64 @@ else
         || { echo "BENCH_fleet_scale.json failed schema check" >&2; exit 1; }
 fi
 echo "Wrote $repo_root/BENCH_fleet_scale.json" >&2
+
+# bench_live_surge exits non-zero on a conservation violation or when
+# the live SLO acceptance fails in-process. Its JSON is then schema-
+# checked, and the shed-arm live p99 is compared against the previous
+# committed BENCH_live_surge.json: a >10% regression fails the run.
+echo "Running bench_live_surge ..." >&2
+prev_live_p99=""
+if [ -f "$repo_root/BENCH_live_surge.json" ] && command -v python3 >/dev/null; then
+    prev_live_p99=$(python3 -c '
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+    print(doc["acceptance"]["live_p99_shed_s"])
+except Exception:
+    pass' "$repo_root/BENCH_live_surge.json")
+fi
+"$build_dir/bench/bench_live_surge" \
+    > "$repo_root/BENCH_live_surge.json"
+if command -v python3 >/dev/null; then
+    if ! python3 - "$repo_root/BENCH_live_surge.json" \
+                  "${prev_live_p99:-}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "live_surge"
+for key in ("scenario", "arms", "acceptance"):
+    assert key in doc, f"missing key: {key}"
+for arm in ("baseline", "surge_shed", "surge_noshed"):
+    a = doc["arms"][arm]
+    assert a["conservation"]["holds"] is True, f"{arm}: ledger broken"
+    c = a["conservation"]
+    assert c["submitted"] == (c["completed"] + c["failed_terminal"] +
+                              c["in_flight"] + c["backlog"] + c["shed"]), \
+        f"{arm}: conservation terms do not balance"
+assert doc["scenario"]["vcus"] >= 20000, "below 20k VCUs"
+assert doc["scenario"]["surge_multiplier"] >= 10, "surge below 10x"
+acc = doc["acceptance"]
+assert acc["shed_under_budget"] is True, \
+    "shed arm misses deadlines over budget"
+assert acc["noshed_over_budget"] is True, \
+    "no-shed arm fails to demonstrate the SLO violation"
+assert doc["arms"]["surge_shed"]["steps_shed"] > 0, "no shedding seen"
+assert doc["conservation_holds_all_arms"] is True
+prev = sys.argv[2] if len(sys.argv) > 2 else ""
+if prev:
+    cur = float(acc["live_p99_shed_s"])
+    ref = float(prev)
+    assert cur <= 1.10 * ref, \
+        f"live p99 regressed >10%: {cur:.3f}s vs {ref:.3f}s"
+EOF
+    then
+        echo "BENCH_live_surge.json failed schema check" >&2
+        exit 1
+    fi
+else
+    grep -q '"shed_under_budget": true' "$repo_root/BENCH_live_surge.json" \
+        || { echo "BENCH_live_surge.json failed schema check" >&2; exit 1; }
+fi
+echo "Wrote $repo_root/BENCH_live_surge.json" >&2
 
 # --- Debug-server end-to-end smoke -----------------------------------
 # Start the demo sim with its z-page server, scrape all five endpoints

@@ -40,6 +40,8 @@ ClusterSim::ClusterSim(ClusterConfig cfg)
         static_cast<size_t>(cfg_.hosts * cfg_.vcus_per_host), -1.0);
     host_retries_.assign(static_cast<size_t>(cfg_.hosts), 0);
     host_completions_.assign(static_cast<size_t>(cfg_.hosts), 0);
+    preempt_candidate_flag_.assign(
+        static_cast<size_t>(cfg_.hosts * cfg_.vcus_per_host), 0);
 
     std::vector<Worker *> all_workers;
     int worker_id = 0;
@@ -117,14 +119,15 @@ ClusterSim::trackUpload(const TranscodeStep &step, double now)
 {
     // Pre-allocate the upload's end-to-end span id at submission so
     // queue_wait/execute children can parent to it before the span
-    // itself is recorded at terminal completion. The SLO monitor
-    // carries (submit_time, span_id) either way; when both tracing
-    // and SLO evaluation are off, nothing is tracked.
+    // itself is recorded at terminal completion. The monitor is told
+    // about every submission unconditionally: the enqueue timestamp
+    // is what queue age reads from, and gating it on telemetry meant
+    // a step submitted while tracing and SLO evaluation were dark
+    // aged from the wrong epoch once either came back.
     uint64_t span_id = 0;
     if (tracer_->enabled() && spanSampled(step.id))
         span_id = tracer_->nextId();
-    if (span_id != 0 || cfg_.slo.enabled)
-        slo_.onSubmit(step.id, now, span_id);
+    slo_.onSubmit(step.id, now, span_id, step.deadline_time);
 }
 
 bool
@@ -435,7 +438,11 @@ ClusterSim::scheduleBacklog(double now)
 {
     // Head-of-line scheduling against the availability cache; stop
     // at the first request nothing can take (it blocks the queue, as
-    // the paper's per-pool FIFO service queue does).
+    // the paper's per-pool FIFO service queue does). Deadline steps
+    // jump the line via the dispatch queue's EDF lane, and a blocked
+    // deadline step whose slack is running out may shed batch work to
+    // make room instead of waiting.
+    maybeUnpark(now);
     size_t deferrals = 0;
     while (!backlog_.empty() && deferrals <= backlog_.size()) {
         const TranscodeStep step = backlog_.front();
@@ -472,6 +479,18 @@ ClusterSim::scheduleBacklog(double now)
         }
         if (w == nullptr)
             w = scheduler_->pick(need);
+        if (w == nullptr && step.hasDeadline() &&
+            cfg_.deadline.shed_enabled) {
+            // Projected slack if the step started right now. While it
+            // is comfortable the step just waits its turn; once it
+            // drops under the guard, displace batch work.
+            double service = stepServiceSeconds(step, cfg_.mapping);
+            if (!cfg_.numa_aware)
+                service *= cfg_.numa_penalty_factor;
+            const double slack = step.deadline_time - now - service;
+            if (slack < cfg_.deadline.slack_guard_seconds)
+                w = shedForDeadline(step, need, now);
+        }
         if (w == nullptr)
             break;
 
@@ -505,6 +524,15 @@ ClusterSim::scheduleBacklog(double now)
         ++in_flight_count_;
         if (ev_ != nullptr)
             updateCompletionEvent(w);
+        // Remember where batch work landed so a future shed can find
+        // a preemption victim without scanning the fleet.
+        if (step.priority == Priority::Batch &&
+            cfg_.deadline.shed_enabled &&
+            cfg_.deadline.preempt_running_batch &&
+            preempt_candidate_flag_[static_cast<size_t>(gid)] == 0) {
+            preempt_candidate_flag_[static_cast<size_t>(gid)] = 1;
+            preempt_candidates_.push_back(gid);
+        }
         if (cfg_.track_blast_radius)
             blast_.recordChunk(step.video_id, gid);
         if (tracer_->enabled() && spanSampled(step.id)) {
@@ -520,6 +548,90 @@ ClusterSim::scheduleBacklog(double now)
             }
         }
     }
+}
+
+Worker *
+ClusterSim::shedForDeadline(const TranscodeStep &step,
+                            const ResourceVector &need, double now)
+{
+    // Load shedding, two rungs. First park all queued batch work:
+    // that frees no resources immediately but stops dispatch from
+    // backfilling capacity the live lane is about to need. Parked
+    // steps move to the shed lot — out of contention, still in the
+    // conservation ledger.
+    const size_t parked = backlog_.parkBatch();
+    if (parked > 0) {
+        metrics_.steps_shed += parked;
+        registry_.inc("cluster.steps_shed", parked);
+        trace_.record(TraceEventType::StepShed, now, -1, -1, step.id,
+                      step.video_id);
+        last_shed_time_ = now;
+    }
+
+    // Second rung: preempt batch steps already running. Candidates
+    // are the workers batch work was assigned to, oldest first; each
+    // is either stale (its batch already drained — drop it), unable
+    // to host this step even emptied of batch (keep it for a smaller
+    // request), or the victim.
+    if (!cfg_.deadline.preempt_running_batch)
+        return nullptr;
+    size_t examined = 0;
+    const size_t limit = preempt_candidates_.size();
+    while (!preempt_candidates_.empty() && examined < limit) {
+        ++examined;
+        const int gid = preempt_candidates_.front();
+        preempt_candidates_.pop_front();
+        Worker *w = workerByGid(gid);
+        if (w->batchRunning() == 0) {
+            preempt_candidate_flag_[static_cast<size_t>(gid)] = 0;
+            continue;
+        }
+        if (!w->canFitWithBatchPreempted(need)) {
+            preempt_candidates_.push_back(gid);
+            continue;
+        }
+        auto preempted = w->preemptBatch();
+        preempt_candidate_flag_[static_cast<size_t>(gid)] = 0;
+        in_flight_count_ -= preempted.size();
+        for (const auto &victim : preempted) {
+            backlog_.parkStep(victim);
+            trace_.record(TraceEventType::StepShed, now,
+                          gid / cfg_.vcus_per_host, gid, victim.id,
+                          victim.video_id);
+        }
+        metrics_.steps_shed += preempted.size();
+        metrics_.steps_preempted += preempted.size();
+        registry_.inc("cluster.steps_shed", preempted.size());
+        registry_.inc("cluster.steps_preempted", preempted.size());
+        last_shed_time_ = now;
+        // preemptBatch released capacity and (via the availability
+        // listener) updated the scheduler index; the worker's single
+        // completion event must follow its new earliest finish.
+        if (ev_ != nullptr)
+            updateCompletionEvent(w);
+        return w;
+    }
+    return nullptr;
+}
+
+void
+ClusterSim::maybeUnpark(double now)
+{
+    if (backlog_.shedSize() == 0)
+        return;
+    // Hysteresis: release only once the live crunch has demonstrably
+    // passed — no deadline work waiting and a calm period since the
+    // last shed — so a surge still ramping does not thrash batch
+    // steps between workers and the shed lot.
+    if (backlog_.deadlineSize() > 0)
+        return;
+    if (now - last_shed_time_ < cfg_.deadline.release_after_seconds)
+        return;
+    // The released steps land in the FIFO lane and the dispatch loop
+    // right below this call picks them up — no event rescheduling
+    // needed.
+    const size_t released = backlog_.unparkAll();
+    registry_.inc("cluster.steps_unshed", released);
 }
 
 size_t
@@ -541,6 +653,7 @@ ClusterSim::conservation() const
     snap.failed_terminal = failed_terminal_total_;
     snap.in_flight = inFlightSteps();
     snap.backlog = backlog_.size();
+    snap.shed = backlog_.shedSize();
     return snap;
 }
 
@@ -578,12 +691,13 @@ ClusterSim::checkConservation(double now)
         registry_.inc("cluster.conservation_violations");
         warn("step conservation violated at t=%.3f: submitted %llu != "
              "completed %llu + failed %llu + in-flight %llu + "
-             "backlog %llu",
+             "backlog %llu + shed %llu",
              now, static_cast<unsigned long long>(snap.submitted),
              static_cast<unsigned long long>(snap.completed),
              static_cast<unsigned long long>(snap.failed_terminal),
              static_cast<unsigned long long>(snap.in_flight),
-             static_cast<unsigned long long>(snap.backlog));
+             static_cast<unsigned long long>(snap.backlog),
+             static_cast<unsigned long long>(snap.shed));
 #ifndef NDEBUG
         WSVA_ASSERT(false, "step conservation violated at t=%.3f", now);
 #endif
@@ -628,6 +742,9 @@ ClusterSim::sampleTick(double now)
                      static_cast<double>(backlog_.size()));
     registry_.sample("in_flight", now,
                      static_cast<double>(inFlightSteps()));
+    if (backlog_.shedSize() > 0 || metrics_.steps_shed > 0)
+        registry_.sample("shed", now,
+                         static_cast<double>(backlog_.shedSize()));
     registry_.sample("steps_retried", now,
                      static_cast<double>(metrics_.steps_retried));
     registry_.sample("workers_quarantined", now,
@@ -720,6 +837,9 @@ ClusterSim::finishRun(double start, double now)
     // Work still on workers at the horizon used to vanish from the
     // ledger: not completed, not failed, not backlog. Surface it.
     metrics_.steps_in_flight = inFlightSteps();
+    metrics_.shed_remaining = backlog_.shedSize();
+    metrics_.deadline_completions = slo_.deadlineTracked();
+    metrics_.deadline_misses = slo_.deadlineMissed();
 
     if (registry_.enabled()) {
         blast_.exportTo(registry_);
@@ -812,6 +932,7 @@ ClusterSim::buildFleetHealth(double now) const
     snap.retry_rate = retryRate(retries, completions);
     snap.backlog = backlog_.size();
     snap.in_flight = inFlightSteps();
+    snap.shed = backlog_.shedSize();
 
     // SLO surface: the monitor is not thread-safe, so this read is
     // legal only from the sim thread — which is where
@@ -820,6 +941,8 @@ ClusterSim::buildFleetHealth(double now) const
     snap.slo_burn_rate = slo_.burnRate();
     snap.slo_window_p99 = slo_.windowP99();
     snap.slo_queue_age = slo_.queueAge(now);
+    snap.deadline_tracked = slo_.deadlineTracked();
+    snap.deadline_miss_rate = slo_.windowDeadlineMissRate();
     return snap;
 }
 
@@ -863,7 +986,9 @@ ClusterSim::exportJson(size_t max_trace_events) const
     const ConservationSnapshot snap = conservation();
     // Top-level schema version for bench-JSON consumers; bump on any
     // structural change to this export. 2: added "fleet_health".
-    std::string out = "{\n\"schema_version\": 2,\n\"metrics\": ";
+    // 3: conservation gained "shed"; "slo" gained the deadline-miss
+    // fields.
+    std::string out = "{\n\"schema_version\": 3,\n\"metrics\": ";
     out += registry_.toJson();
     out += ",\n\"trace\": ";
     out += trace_.toJson(max_trace_events);
@@ -879,12 +1004,14 @@ ClusterSim::exportJson(size_t max_trace_events) const
     out += strformat(
         ",\n\"conservation\": {\"submitted\": %llu, "
         "\"completed\": %llu, \"failed_terminal\": %llu, "
-        "\"in_flight\": %llu, \"backlog\": %llu, \"holds\": %s}\n}",
+        "\"in_flight\": %llu, \"backlog\": %llu, \"shed\": %llu, "
+        "\"holds\": %s}\n}",
         static_cast<unsigned long long>(snap.submitted),
         static_cast<unsigned long long>(snap.completed),
         static_cast<unsigned long long>(snap.failed_terminal),
         static_cast<unsigned long long>(snap.in_flight),
         static_cast<unsigned long long>(snap.backlog),
+        static_cast<unsigned long long>(snap.shed),
         snap.holds() ? "true" : "false");
     return out;
 }

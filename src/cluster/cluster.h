@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -150,6 +151,43 @@ struct ClusterConfig
     SloConfig slo;
 
     /**
+     * Deadline scheduling / load-shedding policy for live traffic.
+     * Deadline-carrying steps (live segments) always dispatch
+     * earliest-deadline-first ahead of the FIFO lane; this policy
+     * additionally lets the sim *make room* for them under overload.
+     */
+    struct DeadlinePolicy
+    {
+        /**
+         * Master switch for load shedding. Off, live steps still get
+         * EDF ordering but never displace batch work — the
+         * graceful-degradation ablation arm.
+         */
+        bool shed_enabled = false;
+
+        /**
+         * Shed when a blocked live step's projected slack
+         * (deadline - now - service time) drops below this. 0 sheds
+         * only for steps that would already miss; a positive guard
+         * sheds while there is still time for the preemption to help.
+         */
+        double slack_guard_seconds = 0.0;
+
+        /** Also preempt Batch steps already *running* when parking
+         *  queued batch work is not enough to place the live step. */
+        bool preempt_running_batch = true;
+
+        /**
+         * Quiet period: shed steps return to the FIFO lane only once
+         * the EDF lane has been empty and nothing was shed for this
+         * long. Hysteresis against park/unpark thrash while a surge
+         * is still ramping.
+         */
+        double release_after_seconds = 5.0;
+    };
+    DeadlinePolicy deadline;
+
+    /**
      * Hosts per rack for the fleet-health hierarchy (rack id =
      * host id / hosts_per_rack). Purely an aggregation grouping; it
      * does not affect scheduling.
@@ -195,6 +233,18 @@ struct ClusterMetrics
     uint64_t sched_placed = 0;
     uint64_t sched_rejected = 0;
     size_t backlog_remaining = 0;
+
+    /** Batch steps parked to the shed lot (lifetime, this run). */
+    uint64_t steps_shed = 0;
+    /** Batch steps preempted off workers for live work (subset of
+     *  steps_shed). */
+    uint64_t steps_preempted = 0;
+    /** Steps still parked in the shed lot at the horizon. */
+    size_t shed_remaining = 0;
+    /** Deadline-carrying completions / misses (lifetime ledger from
+     *  the SLO monitor, snapshotted at the horizon). */
+    uint64_t deadline_completions = 0;
+    uint64_t deadline_misses = 0;
 
     /** Steps that entered the system during this run() call. */
     uint64_t steps_submitted = 0;
@@ -246,11 +296,12 @@ struct ConservationSnapshot
     uint64_t failed_terminal = 0; //!< Terminal failures (none today).
     uint64_t in_flight = 0;       //!< Currently on workers.
     uint64_t backlog = 0;         //!< Queued (incl. retries).
+    uint64_t shed = 0;            //!< Parked in the shed lot.
 
     bool holds() const
     {
-        return submitted ==
-               completed + failed_terminal + in_flight + backlog;
+        return submitted == completed + failed_terminal + in_flight +
+                                backlog + shed;
     }
 };
 
@@ -359,6 +410,15 @@ class ClusterSim
     void manageRepairs(double now);
     void collectCompletions(double now);
     void scheduleBacklog(double now);
+    /** Load shedding for a blocked live step: park queued batch work
+     *  and (policy permitting) preempt running batch steps until
+     *  @p need fits somewhere. @return a worker @p need now fits on,
+     *  or nullptr when shedding could not make room. */
+    Worker *shedForDeadline(const TranscodeStep &step,
+                            const ResourceVector &need, double now);
+    /** Return shed steps to the FIFO lane once the live crunch has
+     *  passed (EDF lane empty + release_after_seconds of calm). */
+    void maybeUnpark(double now);
     void checkConservation(double now);
     void sampleTick(double now);
 
@@ -388,8 +448,22 @@ class ClusterSim
     std::vector<HostModel> hosts_;
     std::unique_ptr<Scheduler> scheduler_;
     std::unique_ptr<ConsistentHashRing> ring_;
-    std::deque<TranscodeStep> backlog_;
+    DispatchQueue backlog_;
     RepairQueue repairs_;
+
+    // Preemption candidates: gids of workers that took a Batch step,
+    // in assignment order. shedForDeadline() pops lazily (stale
+    // entries — batch already drained — are skipped), so finding a
+    // victim is amortized O(1) instead of an O(workers) scan per
+    // blocked live step.
+    std::deque<int> preempt_candidates_;
+    // One flag per worker gid: is it already in preempt_candidates_?
+    // Keeps the deque at most one entry per worker regardless of how
+    // many batch steps land on it between sheds.
+    std::vector<char> preempt_candidate_flag_;
+    // Sim time of the last shed/preemption; -infinity before any.
+    // maybeUnpark()'s calm-period hysteresis measures from here.
+    double last_shed_time_ = -std::numeric_limits<double>::infinity();
     BlastRadiusTracker blast_;
     wsva::MetricsRegistry registry_;
     wsva::TraceLog trace_;

@@ -128,9 +128,17 @@ FleetHealthSnapshot::toText() const
                            host.retry_rate);
         }
     }
-    out += strformat("\nbacklog %llu, in-flight %llu\n",
+    out += strformat("\nbacklog %llu, in-flight %llu, shed %llu\n",
                      static_cast<unsigned long long>(backlog),
-                     static_cast<unsigned long long>(in_flight));
+                     static_cast<unsigned long long>(in_flight),
+                     static_cast<unsigned long long>(shed));
+    if (deadline_tracked > 0) {
+        out += strformat("live: %llu deadline completions, windowed "
+                         "miss rate %.2f%%\n",
+                         static_cast<unsigned long long>(
+                             deadline_tracked),
+                         deadline_miss_rate * 100.0);
+    }
     return out;
 }
 
@@ -145,14 +153,19 @@ FleetHealthSnapshot::toJson() const
     appendCountsJson(out, cluster);
     out += strformat(
         ", \"encoder_utilization\": %.6g, \"retry_rate\": %.6g, "
-        "\"backlog\": %llu, \"in_flight\": %llu, "
+        "\"backlog\": %llu, \"in_flight\": %llu, \"shed\": %llu, "
         "\"slo\": {\"alert_active\": %s, \"burn_rate\": %.6g, "
-        "\"window_p99\": %.6g, \"queue_age\": %.6g}, \"racks\": [",
+        "\"window_p99\": %.6g, \"queue_age\": %.6g, "
+        "\"deadline_tracked\": %llu, \"deadline_miss_rate\": %.6g}, "
+        "\"racks\": [",
         encoder_utilization, retry_rate,
         static_cast<unsigned long long>(backlog),
         static_cast<unsigned long long>(in_flight),
+        static_cast<unsigned long long>(shed),
         slo_alert_active ? "true" : "false", slo_burn_rate,
-        slo_window_p99, slo_queue_age);
+        slo_window_p99, slo_queue_age,
+        static_cast<unsigned long long>(deadline_tracked),
+        deadline_miss_rate);
     for (size_t i = 0; i < racks.size(); ++i) {
         if (i > 0)
             out += ", ";
@@ -208,6 +221,10 @@ FleetHealthBoard::exportGauges(wsva::MetricsRegistry &registry) const
     registry.setGauge("fleet.encoder_utilization",
                       snap->encoder_utilization);
     registry.setGauge("fleet.retry_rate", snap->retry_rate);
+    registry.setGauge("fleet.shed", static_cast<double>(snap->shed));
+    if (snap->deadline_tracked > 0)
+        registry.setGauge("fleet.deadline_miss_rate",
+                          snap->deadline_miss_rate);
     for (const auto &rack : snap->racks) {
         const std::string prefix = strformat("fleet.rack%d.", rack.id);
         registry.setGauge(prefix + "healthy",

@@ -100,12 +100,17 @@ struct FleetHealthSnapshot
     double retry_rate = 0.0;
     uint64_t backlog = 0;
     uint64_t in_flight = 0;
+    /** Batch steps parked in the shed lot (live load shedding). */
+    uint64_t shed = 0;
 
     /** SLO surface (copied from the monitor at publish time). */
     bool slo_alert_active = false;
     double slo_burn_rate = 0.0;
     double slo_window_p99 = 0.0;
     double slo_queue_age = 0.0;
+    /** Live-serving surface: deadline-carrying completions. */
+    uint64_t deadline_tracked = 0;
+    double deadline_miss_rate = 0.0; //!< Windowed miss fraction.
 
     std::vector<NodeHealth> racks;
     std::vector<NodeHealth> hosts;

@@ -7,6 +7,90 @@
 
 namespace wsva::cluster {
 
+void
+DispatchQueue::push_back(const TranscodeStep &step)
+{
+    if (step.hasDeadline()) {
+        edf_.push_back({step, next_seq_++});
+        std::push_heap(edf_.begin(), edf_.end());
+    } else {
+        fifo_.push_back(step);
+    }
+}
+
+void
+DispatchQueue::push_front(const TranscodeStep &step)
+{
+    if (step.hasDeadline()) {
+        // A retried deadline step re-enters the EDF lane; its
+        // deadline, not its retry-ness, decides its place. The fresh
+        // seq only breaks exact-deadline ties.
+        edf_.push_back({step, next_seq_++});
+        std::push_heap(edf_.begin(), edf_.end());
+    } else {
+        fifo_.push_front(step);
+    }
+}
+
+const TranscodeStep &
+DispatchQueue::front() const
+{
+    WSVA_ASSERT(!empty(), "front() on an empty dispatch queue");
+    if (!edf_.empty())
+        return edf_.front().step;
+    return fifo_.front();
+}
+
+void
+DispatchQueue::pop_front()
+{
+    WSVA_ASSERT(!empty(), "pop_front() on an empty dispatch queue");
+    if (!edf_.empty()) {
+        std::pop_heap(edf_.begin(), edf_.end());
+        edf_.pop_back();
+        return;
+    }
+    fifo_.pop_front();
+}
+
+size_t
+DispatchQueue::parkBatch()
+{
+    // Single rebuild pass (mid-deque erase would be quadratic). Under
+    // sustained surge this is cheap: previously parked steps already
+    // sit in shed_, so the pass only touches arrivals since the last
+    // park.
+    size_t parked = 0;
+    std::deque<TranscodeStep> keep;
+    for (auto &step : fifo_) {
+        if (step.priority == Priority::Batch) {
+            shed_.push_back(std::move(step));
+            ++parked;
+        } else {
+            keep.push_back(std::move(step));
+        }
+    }
+    fifo_.swap(keep);
+    return parked;
+}
+
+void
+DispatchQueue::parkStep(const TranscodeStep &step)
+{
+    shed_.push_back(step);
+}
+
+size_t
+DispatchQueue::unparkAll()
+{
+    const size_t released = shed_.size();
+    while (!shed_.empty()) {
+        fifo_.push_back(shed_.front());
+        shed_.pop_front();
+    }
+    return released;
+}
+
 ResourceVector
 Scheduler::reservationFor(const ResourceVector &need) const
 {

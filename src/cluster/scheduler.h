@@ -14,12 +14,92 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "cluster/worker.h"
 #include "common/metrics.h"
 
 namespace wsva::cluster {
+
+/**
+ * The cluster's work queue, deadline-aware. Two dispatch lanes plus a
+ * parking lot:
+ *
+ *  - EDF lane: steps carrying a deadline (live segments), ordered
+ *    earliest-deadline-first with ties broken by arrival sequence —
+ *    deterministic, and FIFO within one deadline cohort.
+ *  - FIFO lane: everything else, in arrival order with push_front
+ *    retry semantics — byte-for-byte the plain std::deque the sim
+ *    used before deadlines existed. With no deadline steps queued the
+ *    queue *is* that deque, which is what keeps fault-free tick/event
+ *    ledger equality intact.
+ *  - Shed lot: batch-priority steps parked under live surge. Parked
+ *    steps stop competing for dispatch but stay in the conservation
+ *    ledger (the `shed` term); unparkAll() returns them to the FIFO
+ *    lane in their original order.
+ *
+ * front()/pop_front() always serve the EDF lane first: a live segment
+ * with ten seconds of slack outranks any amount of queued batch work.
+ */
+class DispatchQueue
+{
+  public:
+    /** Queue a newly arrived step. */
+    void push_back(const TranscodeStep &step);
+
+    /** Re-queue a retried step ahead of its lane. */
+    void push_front(const TranscodeStep &step);
+
+    /** Next step to dispatch (EDF lane first). Queue must not be
+     *  empty. */
+    const TranscodeStep &front() const;
+
+    /** Drop the step front() returned. */
+    void pop_front();
+
+    /** Steps in the dispatch lanes (excludes the shed lot). */
+    size_t size() const { return edf_.size() + fifo_.size(); }
+    bool empty() const { return edf_.empty() && fifo_.empty(); }
+
+    /** Deadline-carrying steps waiting in the EDF lane. */
+    size_t deadlineSize() const { return edf_.size(); }
+
+    /** Park every Batch-priority step in the FIFO lane.
+     *  @return how many steps moved to the shed lot. */
+    size_t parkBatch();
+
+    /** Park one already-dequeued step (a preempted running step). */
+    void parkStep(const TranscodeStep &step);
+
+    /** Return every shed step to the FIFO lane, oldest first.
+     *  @return how many steps came back. */
+    size_t unparkAll();
+
+    /** Steps sitting in the shed lot. */
+    size_t shedSize() const { return shed_.size(); }
+
+  private:
+    /** EDF heap entry; min-heap on (deadline, seq). */
+    struct EdfEntry
+    {
+        TranscodeStep step;
+        uint64_t seq = 0;
+
+        /** std::push_heap is a max-heap; invert for min-(deadline,seq). */
+        bool operator<(const EdfEntry &other) const
+        {
+            if (step.deadline_time != other.step.deadline_time)
+                return step.deadline_time > other.step.deadline_time;
+            return seq > other.seq;
+        }
+    };
+
+    std::vector<EdfEntry> edf_; //!< Heap (std::push_heap/pop_heap).
+    std::deque<TranscodeStep> fifo_;
+    std::deque<TranscodeStep> shed_;
+    uint64_t next_seq_ = 0;
+};
 
 /** Scheduling statistics. */
 struct SchedulerStats

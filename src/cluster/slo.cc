@@ -1,6 +1,7 @@
 #include "cluster/slo.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 #include "common/metrics.h"
@@ -11,7 +12,10 @@ SloMonitor::SloMonitor(SloConfig cfg)
     : cfg_(cfg),
       // Lifetime latency histogram spans well past the target so the
       // p99 stays resolvable during bad stretches.
-      latency_(0.0, std::max(1.0, 10.0 * cfg.p99_target_seconds), 200)
+      latency_(0.0, std::max(1.0, 10.0 * cfg.p99_target_seconds), 200),
+      // Live segments finish in seconds, not minutes: a finer, shorter
+      // range keeps the live p99 resolvable next to batch latencies.
+      live_latency_(0.0, std::max(1.0, cfg.p99_target_seconds), 200)
 {
     WSVA_ASSERT(cfg_.window_ticks >= 1, "SLO window needs >= 1 tick");
     WSVA_ASSERT(cfg_.burn_alert_fraction > 0.0 &&
@@ -27,12 +31,25 @@ SloMonitor::attach(wsva::MetricsRegistry *metrics, wsva::TraceLog *trace)
 }
 
 void
-SloMonitor::onSubmit(uint64_t step_id, double now, uint64_t span_id)
+SloMonitor::onSubmit(uint64_t step_id, double now, uint64_t span_id,
+                     double deadline_time)
 {
     // Re-submission under the same id overwrites; the old
     // submit_order_ entry no longer matches and is lazily discarded
     // by queueAge().
-    inflight_.insertOrAssign(step_id, Upload{now, span_id});
+    inflight_.insertOrAssign(step_id, Upload{now, span_id, deadline_time});
+    // Amortized stale-front pruning: onSubmit now runs even with all
+    // telemetry dark, and a fleet that never consults queueAge()
+    // would otherwise grow submit_order_ without bound (a long bench
+    // run queues millions of entries). Completed/re-submitted fronts
+    // are dead weight; pop them here the same way queueAge() does.
+    while (!submit_order_.empty()) {
+        const auto &[submit_time, id] = submit_order_.front();
+        const Upload *up = inflight_.find(id);
+        if (up != nullptr && up->submit_time == submit_time)
+            break;
+        submit_order_.pop_front();
+    }
     submit_order_.emplace_back(now, step_id);
 }
 
@@ -49,18 +66,52 @@ SloMonitor::onComplete(uint64_t step_id, double now)
     if (up == nullptr)
         return -1.0;
     const double latency = now - up->submit_time;
+    const double deadline_time = up->deadline_time;
     inflight_.erase(step_id);
     ++completed_;
     latency_.add(latency);
     if (latency > cfg_.p99_target_seconds)
         ++violations_total_;
+    const bool has_deadline =
+        deadline_time < std::numeric_limits<double>::infinity();
+    bool missed = false;
+    if (has_deadline) {
+        ++deadline_tracked_;
+        missed = now > deadline_time;
+        if (missed)
+            ++deadline_missed_;
+        live_latency_.add(latency);
+    }
     if (cfg_.enabled) {
         window_latencies_.emplace_back(tick_, latency);
         if (latency > cfg_.p99_target_seconds)
             ++over_target_in_window_;
+        if (has_deadline) {
+            window_deadlines_.emplace_back(tick_, missed);
+            if (missed)
+                ++window_deadline_missed_;
+        }
         p99_dirty_ = true;
     }
     return latency;
+}
+
+double
+SloMonitor::deadlineMissRate() const
+{
+    if (deadline_tracked_ == 0)
+        return 0.0;
+    return static_cast<double>(deadline_missed_) /
+           static_cast<double>(deadline_tracked_);
+}
+
+double
+SloMonitor::windowDeadlineMissRate() const
+{
+    if (window_deadlines_.empty())
+        return 0.0;
+    return static_cast<double>(window_deadline_missed_) /
+           static_cast<double>(window_deadlines_.size());
 }
 
 double
@@ -133,6 +184,14 @@ SloMonitor::onTick(double now)
         window_latencies_.pop_front();
         p99_dirty_ = true;
     }
+    // Same eviction edge as the latency window: an entry stamped at
+    // tick T leaves exactly when tick_ reaches T + window_ticks.
+    while (!window_deadlines_.empty() &&
+           window_deadlines_.front().first + cfg_.window_ticks <= tick_) {
+        if (window_deadlines_.front().second)
+            --window_deadline_missed_;
+        window_deadlines_.pop_front();
+    }
 
     // Burning iff the windowed nearest-rank p99 exceeds the target.
     // Equivalent rank-count form: value-at-rank > target exactly when
@@ -188,6 +247,11 @@ SloMonitor::onTick(double now)
         metrics_->sample("slo.window_p99", now, p99);
         metrics_->sample("slo.burn_rate", now, burn);
         metrics_->sample("slo.queue_age", now, age);
+        if (deadline_tracked_ > 0) {
+            const double miss = windowDeadlineMissRate();
+            metrics_->setGauge("slo.deadline_miss_rate", miss);
+            metrics_->sample("slo.deadline_miss_rate", now, miss);
+        }
     }
 }
 
@@ -200,14 +264,22 @@ SloMonitor::exportJson(double now) const
         "\"lifetime_p50\": %.6g, \"lifetime_p99\": %.6g, "
         "\"window_p99\": %.6g, \"burn_rate\": %.6g, "
         "\"queue_age_seconds\": %.6g, \"alert_active\": %s, "
-        "\"alerts\": %llu}",
+        "\"alerts\": %llu, "
+        "\"deadline_tracked\": %llu, \"deadline_missed\": %llu, "
+        "\"deadline_miss_rate\": %.6g, "
+        "\"window_deadline_miss_rate\": %.6g, "
+        "\"deadline_miss_budget\": %.6g, \"live_p99\": %.6g}",
         cfg_.p99_target_seconds,
         static_cast<unsigned long long>(completed_),
         static_cast<unsigned long long>(violations_total_),
         static_cast<unsigned long long>(inflight_.size()),
         latency_.quantile(0.5), latency_.quantile(0.99), windowP99(),
         burnRate(), queueAge(now), alert_active_ ? "true" : "false",
-        static_cast<unsigned long long>(alerts_raised_));
+        static_cast<unsigned long long>(alerts_raised_),
+        static_cast<unsigned long long>(deadline_tracked_),
+        static_cast<unsigned long long>(deadline_missed_),
+        deadlineMissRate(), windowDeadlineMissRate(),
+        cfg_.deadline_miss_budget, liveQuantile(0.99));
 }
 
 } // namespace wsva::cluster

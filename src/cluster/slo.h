@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -72,6 +73,14 @@ struct SloConfig
      * windowed p99 costs a selection pass over the window.
      */
     size_t gauge_every_ticks = 15;
+
+    /**
+     * The live promise: at most this fraction of deadline-carrying
+     * completions in the window may miss their deadline. Purely a
+     * reporting threshold (the burn-rate alert stays the paging
+     * signal); benches compare shed-on/shed-off arms against it.
+     */
+    double deadline_miss_budget = 0.01;
 };
 
 /**
@@ -92,6 +101,8 @@ class SloMonitor
     {
         double submit_time = 0.0;
         uint64_t span_id = 0; //!< Pre-allocated e2e span id (0 = none).
+        /** Absolute deadline (+infinity = none). */
+        double deadline_time = std::numeric_limits<double>::infinity();
     };
 
     explicit SloMonitor(SloConfig cfg = {});
@@ -101,8 +112,17 @@ class SloMonitor
 
     const SloConfig &config() const { return cfg_; }
 
-    /** A step entered the system at @p now. */
-    void onSubmit(uint64_t step_id, double now, uint64_t span_id = 0);
+    /**
+     * A step entered the system at @p now. Callers must invoke this
+     * unconditionally (even with SLO evaluation and tracing dark):
+     * the enqueue timestamp is what queueAge() ages from, and a step
+     * submitted while telemetry was off used to be invisible — after
+     * a re-enable its age read from the wrong epoch. @p deadline_time
+     * (+infinity = none) feeds the deadline-miss accounting.
+     */
+    void onSubmit(uint64_t step_id, double now, uint64_t span_id = 0,
+                  double deadline_time =
+                      std::numeric_limits<double>::infinity());
 
     /** The unfinished upload for @p step_id, or nullptr. */
     const Upload *find(uint64_t step_id) const;
@@ -135,10 +155,29 @@ class SloMonitor
     /** Completions whose latency exceeded the target (lifetime). */
     uint64_t violations() const { return violations_total_; }
 
+    /** Deadline-carrying completions (lifetime). */
+    uint64_t deadlineTracked() const { return deadline_tracked_; }
+
+    /** Deadline-carrying completions that missed (lifetime). */
+    uint64_t deadlineMissed() const { return deadline_missed_; }
+
+    /** Lifetime deadline-miss fraction (0 when none tracked). */
+    double deadlineMissRate() const;
+
+    /** Miss fraction over deadline completions in the window. */
+    double windowDeadlineMissRate() const;
+
     /** Lifetime end-to-end latency quantile. */
     double lifetimeQuantile(double q) const
     {
         return latency_.quantile(q);
+    }
+
+    /** Lifetime latency quantile over deadline-carrying steps only
+     *  (the live traffic class; 0 when none completed). */
+    double liveQuantile(double q) const
+    {
+        return live_latency_.quantile(q);
     }
 
     /** JSON object summarizing the SLO state at time @p now. */
@@ -161,12 +200,20 @@ class SloMonitor
     // scan of a map that grows without bound under overload.
     mutable std::deque<std::pair<double, uint64_t>> submit_order_;
     wsva::Histogram latency_;
+    wsva::Histogram live_latency_; //!< Deadline-carrying steps only.
     uint64_t completed_ = 0;
     uint64_t violations_total_ = 0;
+    uint64_t deadline_tracked_ = 0;
+    uint64_t deadline_missed_ = 0;
 
     uint64_t tick_ = 0;
     // (tick, latency) of recent completions, pruned to the window.
     std::deque<std::pair<uint64_t, double>> window_latencies_;
+    // (tick, missed) of recent deadline-carrying completions, pruned
+    // to the window on the same edge (an entry stamped tick T leaves
+    // exactly when tick_ reaches T + window_ticks).
+    std::deque<std::pair<uint64_t, bool>> window_deadlines_;
+    size_t window_deadline_missed_ = 0;
     // Completions in the window whose latency exceeds the target,
     // maintained incrementally. "windowed p99 > target" is exactly
     // "at least (n - rank) of the n window latencies exceed the

@@ -9,7 +9,9 @@
 #ifndef WSVA_CLUSTER_WORK_H
 #define WSVA_CLUSTER_WORK_H
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "cluster/resources.h"
@@ -48,6 +50,19 @@ struct TranscodeStep
 
     UseCase use_case = UseCase::Upload;
     Priority priority = Priority::Normal;
+
+    /**
+     * Absolute completion deadline on the simulation clock (live
+     * segments must be delivered before the viewer's buffer runs
+     * dry). +infinity = no deadline; batch/upload work never expires.
+     * The dispatch queue orders deadline-carrying steps EDF ahead of
+     * the FIFO lane, and the shedding policy compares projected slack
+     * (deadline - now - service) against its guard.
+     */
+    double deadline_time = std::numeric_limits<double>::infinity();
+
+    /** Does this step carry a live deadline? */
+    bool hasDeadline() const { return std::isfinite(deadline_time); }
 
     /** Multiple-output transcode? */
     bool isMot() const { return outputs.size() > 1; }

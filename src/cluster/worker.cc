@@ -43,6 +43,8 @@ Worker::assign(const TranscodeStep &step, const ResourceVector &need,
     available_.subtract(need);
     WSVA_ASSERT(available_.nonNegative(), "negative availability");
     running_.push_back({step, need, now, now + service_seconds * factor});
+    if (step.priority == Priority::Batch)
+        ++batch_running_;
     notifyAvailability();
     if (trace_ != nullptr) {
         trace_->record(TraceEventType::StepScheduled, now, -1, id_,
@@ -73,6 +75,8 @@ Worker::collectFinished(double now)
             outcome.finish_time = failed ? now : it->finish_time;
             out.push_back(outcome);
             available_.add(it->need);
+            if (it->step.priority == Priority::Batch)
+                --batch_running_;
             if (metrics_ != nullptr && !failed) {
                 // Static name: one completion per step makes this a
                 // hot path; don't rebuild the string each time.
@@ -101,10 +105,48 @@ Worker::abortAll()
         available_.add(r.need);
     }
     running_.clear();
+    batch_running_ = 0;
     needs_screen_ = true;
     if (!aborted.empty())
         notifyAvailability();
     return aborted;
+}
+
+bool
+Worker::canFitWithBatchPreempted(const ResourceVector &need) const
+{
+    if (batch_running_ == 0)
+        return false; // Nothing to preempt; canFit() already said no.
+    if (refused_ || (vcu_ != nullptr && vcu_->disabled))
+        return false;
+    ResourceVector hypothetical = available_;
+    for (const auto &r : running_) {
+        if (r.step.priority == Priority::Batch)
+            hypothetical.add(r.need);
+    }
+    return hypothetical.fits(need);
+}
+
+std::vector<TranscodeStep>
+Worker::preemptBatch()
+{
+    std::vector<TranscodeStep> preempted;
+    for (auto it = running_.begin(); it != running_.end();) {
+        if (it->step.priority == Priority::Batch) {
+            preempted.push_back(it->step);
+            available_.add(it->need);
+            it = running_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    WSVA_ASSERT(batch_running_ == preempted.size(),
+                "batch-running count drift: %zu tracked vs %zu found",
+                batch_running_, preempted.size());
+    batch_running_ = 0;
+    if (!preempted.empty())
+        notifyAvailability();
+    return preempted;
 }
 
 void

@@ -150,6 +150,27 @@ class Worker
      */
     std::vector<TranscodeStep> abortAll();
 
+    /** Batch-priority steps currently running here. */
+    size_t batchRunning() const { return batch_running_; }
+
+    /**
+     * Would @p need fit if every Batch-priority running step were
+     * preempted? The shedding policy asks this before paying for a
+     * preemption, so no batch work is ever evicted in vain.
+     */
+    bool canFitWithBatchPreempted(const ResourceVector &need) const;
+
+    /**
+     * Preempt (deschedule) every Batch-priority running step,
+     * releasing its resources. Unlike abortAll() this is a policy
+     * decision, not a failure: the worker process keeps running and
+     * needs no golden screen before its next assignment. The caller
+     * owns the returned steps (they go to the shed lot, staying in
+     * the conservation ledger) and must decrement its in-flight
+     * count by exactly the returned size.
+     */
+    std::vector<TranscodeStep> preemptBatch();
+
     /** True if the (restarted) worker must screen before serving. */
     bool needsScreen() const { return needs_screen_; }
 
@@ -222,6 +243,7 @@ class Worker
     ResourceVector capacity_;
     ResourceVector available_;
     std::vector<Running> running_;
+    size_t batch_running_ = 0; //!< Batch-priority entries in running_.
     VcuHealth *vcu_ = nullptr;
     bool needs_screen_ = false;
     bool refused_ = false;

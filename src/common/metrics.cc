@@ -398,6 +398,7 @@ traceEventTypeName(TraceEventType type)
         return "worker_quarantined";
       case TraceEventType::SloAlert: return "slo_alert";
       case TraceEventType::SloAlertCleared: return "slo_alert_cleared";
+      case TraceEventType::StepShed: return "step_shed";
     }
     return "unknown";
 }

@@ -219,10 +219,11 @@ enum class TraceEventType : int {
     WorkerQuarantined,   //!< Worker refused its VCU after screening.
     SloAlert,            //!< SLO burn rate crossed the alert line.
     SloAlertCleared,     //!< SLO burn rate recovered.
+    StepShed,            //!< Batch step parked/preempted for live work.
 };
 
 /** Number of distinct TraceEventType values. */
-inline constexpr size_t kTraceEventTypeCount = 12;
+inline constexpr size_t kTraceEventTypeCount = 13;
 
 /** Stable snake_case name of an event type (for JSON). */
 const char *traceEventTypeName(TraceEventType type);

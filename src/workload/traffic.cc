@@ -130,28 +130,120 @@ UploadTraffic::asArrivalFn()
     return [this](double now, double dt) { return arrivals(now, dt); };
 }
 
-LiveTraffic::LiveTraffic(LiveTrafficConfig cfg) : cfg_(cfg) {}
+LiveTraffic::LiveTraffic(LiveTrafficConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+}
+
+uint64_t
+LiveTraffic::segmentsDue(double stream_seconds) const
+{
+    if (stream_seconds <= 0.0)
+        return 0;
+    // Cumulative-total cadence: segment k is due once (k+1) whole
+    // segments of stream time have elapsed. The epsilon absorbs the
+    // accumulation error of summing dt tick by tick (2.0 reached as
+    // 0.3 + 0.3 + ... must still count as a full segment); it never
+    // invents a segment because real remainders are fractions of dt.
+    return static_cast<uint64_t>(
+        std::floor(stream_seconds / cfg_.segment_seconds + 1e-9));
+}
+
+void
+LiveTraffic::emitSegment(std::vector<TranscodeStep> &steps,
+                         uint64_t stream_id, uint64_t segment_index,
+                         double segment_available_at)
+{
+    auto step = makeMotStep(next_step_id_++, stream_id,
+                            static_cast<int>(segment_index),
+                            cfg_.resolution,
+                            cfg_.vp9 ? CodecType::VP9 : CodecType::H264);
+    // Pin total frames to the true stream rate: segment k gets
+    // llround((k+1)*seg*fps) - llround(k*seg*fps) frames, so the sum
+    // over any prefix telescopes to llround(elapsed_segments*seg*fps)
+    // exactly — no truncation drift when seg*fps is fractional.
+    const long long upto = std::llround(
+        static_cast<double>(segment_index + 1) * cfg_.segment_seconds *
+        cfg_.fps);
+    const long long before = std::llround(
+        static_cast<double>(segment_index) * cfg_.segment_seconds *
+        cfg_.fps);
+    step.frames = static_cast<int>(std::max(1ll, upto - before));
+    step.fps = cfg_.fps;
+    step.use_case = UseCase::Live;
+    step.priority = wsva::cluster::Priority::Critical;
+    step.two_pass = false; // Low-latency path.
+    if (cfg_.deadline_seconds > 0.0)
+        step.deadline_time = segment_available_at + cfg_.deadline_seconds;
+    total_frames_ += static_cast<uint64_t>(step.frames);
+    ++total_segments_;
+    steps.push_back(step);
+}
 
 std::vector<TranscodeStep>
 LiveTraffic::arrivals(double now, double dt)
 {
-    (void)now;
     std::vector<TranscodeStep> steps;
-    carry_ += dt;
-    while (carry_ >= cfg_.segment_seconds) {
-        carry_ -= cfg_.segment_seconds;
-        for (int s = 0; s < cfg_.concurrent_streams; ++s) {
-            auto step = makeMotStep(
-                next_step_id_++, static_cast<uint64_t>(s), 0,
-                cfg_.resolution,
-                cfg_.vp9 ? CodecType::VP9 : CodecType::H264);
-            step.frames = static_cast<int>(
-                cfg_.segment_seconds * cfg_.fps);
-            step.fps = cfg_.fps;
-            step.use_case = UseCase::Live;
-            step.two_pass = false; // Low-latency path.
-            steps.push_back(step);
+    elapsed_ += dt;
+
+    // Fixed always-on streams, live since t=0. All of them share one
+    // segment counter; the per-segment frame split is identical.
+    const uint64_t fixed_due = segmentsDue(elapsed_);
+    for (uint64_t k = fixed_segments_emitted_; k < fixed_due; ++k) {
+        const double available_at =
+            static_cast<double>(k + 1) * cfg_.segment_seconds;
+        for (int s = 0; s < cfg_.concurrent_streams; ++s)
+            emitSegment(steps, static_cast<uint64_t>(s), k,
+                        available_at);
+    }
+    fixed_segments_emitted_ = fixed_due;
+
+    // Churned channels: Poisson starts (rate boosted inside the
+    // flash-crowd window), exponential lifetimes. Channels are keyed
+    // to `now` (the sim clock) rather than elapsed_ so the surge
+    // window lines up with the driver's timeline.
+    if (cfg_.channels_per_second > 0.0) {
+        double rate = cfg_.channels_per_second;
+        if (cfg_.surge_multiplier != 1.0 && now >= cfg_.surge_start &&
+            now < cfg_.surge_end)
+            rate *= cfg_.surge_multiplier;
+        const uint64_t starts = rng_.poisson(rate * dt);
+        for (uint64_t i = 0; i < starts; ++i) {
+            Channel ch;
+            ch.id = next_channel_id_++;
+            ch.start_time = now;
+            ch.end_time =
+                now + rng_.exponential(1.0 / cfg_.mean_channel_seconds);
+            channels_.push_back(ch);
+            ++channels_started_;
         }
+
+        for (auto &ch : channels_) {
+            const double live_until = std::min(now, ch.end_time);
+            const uint64_t due = segmentsDue(live_until - ch.start_time);
+            for (uint64_t k = ch.segments_emitted; k < due; ++k) {
+                const double available_at =
+                    ch.start_time +
+                    static_cast<double>(k + 1) * cfg_.segment_seconds;
+                // Channel video ids live above the fixed streams'.
+                emitSegment(steps,
+                            static_cast<uint64_t>(
+                                cfg_.concurrent_streams) +
+                                ch.id,
+                            k, available_at);
+            }
+            ch.segments_emitted = due;
+        }
+
+        // Retire channels that ended and have emitted every whole
+        // segment they were live for (a trailing partial segment is
+        // dropped: the stream cut mid-segment).
+        channels_.erase(
+            std::remove_if(channels_.begin(), channels_.end(),
+                           [now](const Channel &ch) {
+                               return now >= ch.end_time;
+                           }),
+            channels_.end());
     }
     return steps;
 }

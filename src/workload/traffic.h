@@ -101,18 +101,58 @@ class UploadTraffic
     uint64_t probe_steps_ = 0;
 };
 
-/** Live streaming traffic: fixed concurrent streams, periodic chunks. */
+/** Live streaming traffic parameters. */
 struct LiveTrafficConfig
 {
+    /** Always-on streams, live from t=0 for the whole run. */
     int concurrent_streams = 20;
     double segment_seconds = 2.0; //!< Pre-VCU short chunks.
     double fps = 30.0;
     wsva::video::Resolution resolution{1920, 1080};
     bool vp9 = true;
     uint64_t seed = 2;
+
+    /**
+     * Per-segment deadline budget: a segment arriving when its video
+     * time elapses must complete within this many seconds or the
+     * viewer's buffer underruns. Stamped as an absolute
+     * `deadline_time` on each step; <= 0 leaves steps deadline-free
+     * (the pre-PR-7 behavior, and what the fixed-rate tests pin).
+     */
+    double deadline_seconds = 0.0;
+
+    /**
+     * Poisson channel churn: new live channels start at this rate
+     * (per simulated second, uncapped — Rng::poisson is underflow-
+     * safe at warehouse-scale rates) and each stays live for an
+     * exponential lifetime of mean `mean_channel_seconds`. 0 keeps
+     * only the fixed `concurrent_streams`.
+     */
+    double channels_per_second = 0.0;
+    double mean_channel_seconds = 300.0;
+
+    /**
+     * Flash-crowd window: the channel arrival rate is multiplied by
+     * `surge_multiplier` while now is in [surge_start, surge_end).
+     */
+    double surge_multiplier = 1.0;
+    double surge_start = 0.0;
+    double surge_end = 0.0;
 };
 
-/** Generates one step per stream per elapsed segment. */
+/**
+ * Frame-paced live segment ingest: one step per stream per elapsed
+ * segment, for the fixed streams plus (optionally) a churning
+ * population of Poisson-arriving channels with exponential lifetimes.
+ *
+ * Cadence is computed from cumulative totals, never by repeatedly
+ * subtracting the segment length from a carry accumulator: segment k
+ * is due once k+1 whole segments of stream time have elapsed, and its
+ * frame count is llround((k+1)*seg*fps) - llround(k*seg*fps), so the
+ * emitted segment count and total frames are exact no matter how the
+ * tick/event quantum divides the segment length (the old carry loop
+ * drifted on fractional remainders and truncated fractional frames).
+ */
 class LiveTraffic
 {
   public:
@@ -123,10 +163,46 @@ class LiveTraffic
 
     wsva::cluster::ArrivalFn asArrivalFn();
 
+    /** Segments emitted so far, across all streams and channels. */
+    uint64_t totalSegments() const { return total_segments_; }
+
+    /** Source frames across all emitted segments (conservation). */
+    uint64_t totalFrames() const { return total_frames_; }
+
+    /** Churned channels currently live (excludes fixed streams). */
+    size_t activeChannels() const { return channels_.size(); }
+
+    /** Churned channels ever started. */
+    uint64_t channelsStarted() const { return channels_started_; }
+
   private:
+    /** One churned live channel. */
+    struct Channel
+    {
+        uint64_t id = 0;
+        double start_time = 0.0;
+        double end_time = 0.0;
+        uint64_t segments_emitted = 0;
+    };
+
+    /** Segments of one stream fully elapsed after @p stream_seconds. */
+    uint64_t segmentsDue(double stream_seconds) const;
+
+    /** Emit one segment step for stream/channel @p stream_id. */
+    void emitSegment(std::vector<wsva::cluster::TranscodeStep> &steps,
+                     uint64_t stream_id, uint64_t segment_index,
+                     double segment_start);
+
     LiveTrafficConfig cfg_;
-    double carry_ = 0.0;
+    wsva::Rng rng_;
+    double elapsed_ = 0.0; //!< Cumulative dt fed to arrivals().
+    uint64_t fixed_segments_emitted_ = 0; //!< Per fixed stream.
+    std::vector<Channel> channels_;
     uint64_t next_step_id_ = 0;
+    uint64_t next_channel_id_ = 0;
+    uint64_t channels_started_ = 0;
+    uint64_t total_segments_ = 0;
+    uint64_t total_frames_ = 0;
 };
 
 } // namespace wsva::workload

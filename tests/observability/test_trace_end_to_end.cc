@@ -227,7 +227,8 @@ TEST(TraceEndToEnd, ClusterExportJsonCarriesSchemaVersionAndSlo)
     std::string error;
     ASSERT_TRUE(parseJson(sim.exportJson(), &doc, &error)) << error;
     // 2: "fleet_health" joined the export (see DESIGN.md §8).
-    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 2.0);
+    // 3: conservation gained "shed", slo gained deadline-miss fields.
+    EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"), 3.0);
 
     const JsonValue *fleet = doc.get("fleet_health");
     ASSERT_NE(fleet, nullptr);
