@@ -13,7 +13,8 @@ build_dir=${1:-"$repo_root/build"}
 # instead of silently emitting a subset of the BENCH_*.json files.
 missing=""
 for bench in bench_parallel_pipeline bench_cluster bench_optimizer \
-             bench_observability bench_fleet_scale bench_live_surge; do
+             bench_observability bench_fleet_scale bench_live_surge \
+             bench_global; do
     [ -x "$build_dir/bench/$bench" ] || missing="$missing $bench"
 done
 if [ -n "$missing" ]; then
@@ -134,6 +135,67 @@ else
         || { echo "BENCH_live_surge.json failed schema check" >&2; exit 1; }
 fi
 echo "Wrote $repo_root/BENCH_live_surge.json" >&2
+
+# bench_global exits non-zero on a cross-region conservation violation
+# or when health gating fails to beat the ungated ablation arm under
+# the black-hole fault. Its JSON is schema-checked, and the gated-arm
+# availability is compared against the previous committed
+# BENCH_global.json: a >5% regression fails the run.
+echo "Running bench_global (3 arms x 100k VCUs) ..." >&2
+prev_global_avail=""
+if [ -f "$repo_root/BENCH_global.json" ] && command -v python3 >/dev/null; then
+    prev_global_avail=$(python3 -c '
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+    print(doc["acceptance"]["availability_gated"])
+except Exception:
+    pass' "$repo_root/BENCH_global.json")
+fi
+"$build_dir/bench/bench_global" \
+    > "$repo_root/BENCH_global.json"
+if command -v python3 >/dev/null; then
+    if ! python3 - "$repo_root/BENCH_global.json" \
+                  "${prev_global_avail:-}" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "global"
+for key in ("scenario", "arms", "acceptance"):
+    assert key in doc, f"missing key: {key}"
+assert doc["scenario"]["vcus"] >= 100000, "below 100k aggregate VCUs"
+for arm in ("baseline", "blackhole_gated", "blackhole_ungated"):
+    a = doc["arms"][arm]
+    c = a["conservation"]
+    assert c["holds"] is True, f"{arm}: global ledger broken"
+    assert c["submitted"] == (c["completed"] + c["failed_terminal"] +
+                              c["in_flight"] + c["backlog"] +
+                              c["shed"] + c["pending"]), \
+        f"{arm}: conservation terms do not balance"
+    assert a["regions_hold"] is True, f"{arm}: a region ledger broke"
+    assert a["audit_violations"] == 0, f"{arm}: audit violations"
+acc = doc["acceptance"]
+assert acc["baseline_clean"] is True, "fault-free arm saw retries"
+assert acc["gate_tripped_both_arms"] is True, "black hole undetected"
+assert acc["availability_wins"] is True, \
+    "gating did not improve availability"
+assert acc["amplification_bounded"] is True, \
+    "gated retry amplification unbounded"
+prev = sys.argv[2] if len(sys.argv) > 2 else ""
+if prev:
+    cur = float(acc["availability_gated"])
+    ref = float(prev)
+    assert cur >= 0.95 * ref, \
+        f"gated availability regressed >5%: {cur:.4f} vs {ref:.4f}"
+EOF
+    then
+        echo "BENCH_global.json failed schema check" >&2
+        exit 1
+    fi
+else
+    grep -q '"availability_wins": true' "$repo_root/BENCH_global.json" \
+        || { echo "BENCH_global.json failed schema check" >&2; exit 1; }
+fi
+echo "Wrote $repo_root/BENCH_global.json" >&2
 
 # --- Debug-server end-to-end smoke -----------------------------------
 # Start the demo sim with its z-page server, scrape all five endpoints

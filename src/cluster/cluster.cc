@@ -442,6 +442,8 @@ ClusterSim::scheduleBacklog(double now)
     // jump the line via the dispatch queue's EDF lane, and a blocked
     // deadline step whose slack is running out may shed batch work to
     // make room instead of waiting.
+    if (dispatch_paused_)
+        return; // Quarantined: queued work waits to be expelled.
     maybeUnpark(now);
     size_t deferrals = 0;
     while (!backlog_.empty() && deferrals <= backlog_.size()) {
@@ -654,7 +656,46 @@ ClusterSim::conservation() const
     snap.in_flight = inFlightSteps();
     snap.backlog = backlog_.size();
     snap.shed = backlog_.shedSize();
+    snap.rerouted_away = rerouted_away_total_;
     return snap;
+}
+
+std::vector<TranscodeStep>
+ClusterSim::expelBacklog()
+{
+    auto steps = backlog_.drainAll();
+    if (steps.empty())
+        return steps;
+    rerouted_away_total_ += steps.size();
+    registry_.inc("cluster.steps_rerouted_away", steps.size());
+    // Cancel the SLO tracking entries: the steps will re-enter
+    // tracking in whichever cluster receives them. Leaving them here
+    // would leak the in-flight map and age the queue forever.
+    for (const auto &step : steps)
+        slo_.onCancel(step.id);
+    return steps;
+}
+
+void
+ClusterSim::forceSilentFaults(double speed_factor)
+{
+    WSVA_ASSERT(speed_factor > 0.0, "speed factor must be positive");
+    for (auto &host : hosts_) {
+        if (host.in_repair)
+            continue;
+        for (size_t v = 0; v < host.vcu_health.size(); ++v) {
+            VcuHealth &health = host.vcu_health[v];
+            if (health.disabled || health.silent_fault)
+                continue;
+            health.silent_fault = true;
+            health.speed_factor = speed_factor;
+            registry_.inc("cluster.silent_faults");
+            trace_.record(TraceEventType::SilentFaultInjected, clock_,
+                          host.id,
+                          host.id * cfg_.vcus_per_host +
+                              static_cast<int>(v));
+        }
+    }
 }
 
 void
@@ -691,13 +732,14 @@ ClusterSim::checkConservation(double now)
         registry_.inc("cluster.conservation_violations");
         warn("step conservation violated at t=%.3f: submitted %llu != "
              "completed %llu + failed %llu + in-flight %llu + "
-             "backlog %llu + shed %llu",
+             "backlog %llu + shed %llu + rerouted %llu",
              now, static_cast<unsigned long long>(snap.submitted),
              static_cast<unsigned long long>(snap.completed),
              static_cast<unsigned long long>(snap.failed_terminal),
              static_cast<unsigned long long>(snap.in_flight),
              static_cast<unsigned long long>(snap.backlog),
-             static_cast<unsigned long long>(snap.shed));
+             static_cast<unsigned long long>(snap.shed),
+             static_cast<unsigned long long>(snap.rerouted_away));
 #ifndef NDEBUG
         WSVA_ASSERT(false, "step conservation violated at t=%.3f", now);
 #endif
@@ -929,6 +971,8 @@ ClusterSim::buildFleetHealth(double now) const
     if (totalVcus() > 0)
         snap.encoder_utilization =
             cluster_util / static_cast<double>(totalVcus());
+    snap.retries = retries;
+    snap.completions = completions;
     snap.retry_rate = retryRate(retries, completions);
     snap.backlog = backlog_.size();
     snap.in_flight = inFlightSteps();
@@ -984,11 +1028,11 @@ std::string
 ClusterSim::exportJson(size_t max_trace_events) const
 {
     const ConservationSnapshot snap = conservation();
-    // Top-level schema version for bench-JSON consumers; bump on any
-    // structural change to this export. 2: added "fleet_health".
-    // 3: conservation gained "shed"; "slo" gained the deadline-miss
-    // fields.
-    std::string out = "{\n\"schema_version\": 3,\n\"metrics\": ";
+    // Schema version history lives on kExportSchemaVersion — the one
+    // place the number is defined.
+    std::string out = strformat(
+        "{\n\"schema_version\": %d,\n\"metrics\": ",
+        kExportSchemaVersion);
     out += registry_.toJson();
     out += ",\n\"trace\": ";
     out += trace_.toJson(max_trace_events);
@@ -1005,13 +1049,14 @@ ClusterSim::exportJson(size_t max_trace_events) const
         ",\n\"conservation\": {\"submitted\": %llu, "
         "\"completed\": %llu, \"failed_terminal\": %llu, "
         "\"in_flight\": %llu, \"backlog\": %llu, \"shed\": %llu, "
-        "\"holds\": %s}\n}",
+        "\"rerouted_away\": %llu, \"holds\": %s}\n}",
         static_cast<unsigned long long>(snap.submitted),
         static_cast<unsigned long long>(snap.completed),
         static_cast<unsigned long long>(snap.failed_terminal),
         static_cast<unsigned long long>(snap.in_flight),
         static_cast<unsigned long long>(snap.backlog),
         static_cast<unsigned long long>(snap.shed),
+        static_cast<unsigned long long>(snap.rerouted_away),
         snap.holds() ? "true" : "false");
     return out;
 }

@@ -297,11 +297,15 @@ struct ConservationSnapshot
     uint64_t in_flight = 0;       //!< Currently on workers.
     uint64_t backlog = 0;         //!< Queued (incl. retries).
     uint64_t shed = 0;            //!< Parked in the shed lot.
+    /** Expelled for cross-region reroute (left this cluster without
+     *  completing here; the receiving cluster re-counts them in its
+     *  own `submitted`). */
+    uint64_t rerouted_away = 0;
 
     bool holds() const
     {
         return submitted == completed + failed_terminal + in_flight +
-                                backlog + shed;
+                                backlog + shed + rerouted_away;
     }
 };
 
@@ -309,6 +313,17 @@ struct ConservationSnapshot
 class ClusterSim
 {
   public:
+    /**
+     * Top-level schema version of exportJson() — the single source of
+     * truth for every JSON surface in the tree (cluster and global
+     * exports share it; bench schema checks read it from the emitted
+     * documents). Bump here, and only here, on any structural change.
+     * History: 2 added "fleet_health"; 3 added the "shed"
+     * conservation term and the SLO deadline-miss fields; 4 added the
+     * "rerouted_away" conservation term and the global-router export.
+     */
+    static constexpr int kExportSchemaVersion = 4;
+
     explicit ClusterSim(ClusterConfig cfg);
 
     /** Enqueue a step directly (tests / simple drivers). */
@@ -371,6 +386,41 @@ class ClusterSim
 
     /** Steps currently running across all workers. */
     size_t inFlightSteps() const;
+
+    /**
+     * Expel every queued step (dispatch lanes + shed lot) for
+     * cross-region rerouting. The steps move to the ledger's
+     * `rerouted_away` bucket — conservation still holds — and their
+     * SLO tracking entries are cancelled (the receiving cluster
+     * measures them from its own submission). In-flight work is NOT
+     * expelled: steps already on workers run to completion here.
+     * Call between run() slices only.
+     */
+    std::vector<TranscodeStep> expelBacklog();
+
+    /** Lifetime count of steps expelled by expelBacklog(). */
+    uint64_t reroutedAway() const { return rerouted_away_total_; }
+
+    /**
+     * Pause (or resume) backlog dispatch. While paused, queued steps
+     * — including retries failing off still-running workers — stay in
+     * the dispatch lanes instead of being re-placed, so a router that
+     * quarantines this cluster can expel them between run() slices
+     * and the cluster actually drains rather than churning its own
+     * retry loop forever. In-flight work is unaffected.
+     */
+    void setDispatchPaused(bool paused) { dispatch_paused_ = paused; }
+    bool dispatchPaused() const { return dispatch_paused_; }
+
+    /**
+     * Flip every healthy VCU silently faulty at @p speed_factor —
+     * the paper's black-hole mode (Section 4.4: fast, corrupt
+     * completions that attract load), injected deterministically so
+     * benches can drive one region into it mid-run. Newly assigned
+     * steps see the scaled service time; steps already running are
+     * untouched. Call between run() slices only.
+     */
+    void forceSilentFaults(double speed_factor);
 
     /**
      * JSON dump of the whole observability state: registry metrics,
@@ -494,6 +544,11 @@ class ClusterSim
     uint64_t submitted_total_ = 0;
     uint64_t completed_total_ = 0;
     uint64_t failed_terminal_total_ = 0;
+    uint64_t rerouted_away_total_ = 0;
+
+    // Backlog dispatch gate (setDispatchPaused): true while a global
+    // router holds this cluster in quarantine.
+    bool dispatch_paused_ = false;
 
     // Steps currently on workers, maintained incrementally at every
     // assign/collect/abort so conservation checks and fleet rollups

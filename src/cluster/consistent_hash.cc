@@ -1,6 +1,7 @@
 #include "cluster/consistent_hash.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -14,6 +15,13 @@ ConsistentHashRing::mix(uint64_t value)
     value = (value ^ (value >> 30)) * 0xbf58476d1ce4e5b9ULL;
     value = (value ^ (value >> 27)) * 0x94d049bb133111ebULL;
     return value ^ (value >> 31);
+}
+
+uint64_t
+ConsistentHashRing::pointPosition(int worker_id, int virtual_node) const
+{
+    return mix((static_cast<uint64_t>(static_cast<uint32_t>(worker_id))
+                << 20) ^ static_cast<uint64_t>(virtual_node));
 }
 
 ConsistentHashRing::ConsistentHashRing(const std::vector<int> &worker_ids,
@@ -30,12 +38,8 @@ ConsistentHashRing::addWorker(int worker_id)
 {
     if (!ids_.insert(worker_id).second)
         return; // Already on the ring; re-adding must not double-count.
-    for (int v = 0; v < virtual_nodes_; ++v) {
-        const uint64_t pos =
-            mix((static_cast<uint64_t>(static_cast<uint32_t>(worker_id))
-                 << 20) ^ static_cast<uint64_t>(v));
-        ring_[pos] = worker_id;
-    }
+    for (int v = 0; v < virtual_nodes_; ++v)
+        ring_.insert({pointPosition(worker_id, v), worker_id});
 }
 
 void
@@ -43,12 +47,13 @@ ConsistentHashRing::removeWorker(int worker_id)
 {
     if (ids_.erase(worker_id) == 0)
         return;
-    for (auto it = ring_.begin(); it != ring_.end();) {
-        if (it->second == worker_id)
-            it = ring_.erase(it);
-        else
-            ++it;
-    }
+    // Erase exactly this worker's virtual points by recomputing their
+    // positions — O(virtual_nodes * log n), and structurally incapable
+    // of leaving a stale point behind or disturbing other workers'
+    // points (a full-ring value scan would also work but costs O(n)
+    // per quarantine event at fleet scale).
+    for (int v = 0; v < virtual_nodes_; ++v)
+        ring_.erase({pointPosition(worker_id, v), worker_id});
 }
 
 std::vector<int>
@@ -59,7 +64,11 @@ ConsistentHashRing::affinitySet(uint64_t key, size_t count) const
         return result;
     count = std::min(count, ids_.size());
 
-    auto it = ring_.lower_bound(mix(key));
+    // Start from the first point at-or-after the key's position; the
+    // worker-id tiebreak in the pair key makes the walk order — and
+    // therefore the affinity set — a pure function of (key, id set).
+    auto it = ring_.lower_bound(
+        {mix(key), std::numeric_limits<int>::min()});
     while (result.size() < count) {
         if (it == ring_.end())
             it = ring_.begin();

@@ -16,8 +16,8 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace wsva::cluster {
@@ -39,8 +39,10 @@ class ConsistentHashRing
      */
     std::vector<int> affinitySet(uint64_t key, size_t count) const;
 
-    /** Remove a worker (failed/disabled); its keys spill over.
-     *  Removing an id not on the ring is a no-op. */
+    /** Remove a worker (failed/disabled/quarantined); its keys spill
+     *  over. Removing an id not on the ring is a no-op. Removal erases
+     *  exactly the worker's own virtual points, so no stale point can
+     *  keep satisfying affinity lookups afterwards. */
     void removeWorker(int worker_id);
 
     /** Add a worker (repair completed). Adding an id already on the
@@ -53,9 +55,21 @@ class ConsistentHashRing
 
   private:
     static uint64_t mix(uint64_t value);
+    uint64_t pointPosition(int worker_id, int virtual_node) const;
 
-    std::map<uint64_t, int> ring_; //!< ring position -> worker id.
-    std::set<int> ids_;            //!< distinct worker ids on the ring.
+    /**
+     * Ring points keyed by (position, worker id). Keying by the pair
+     * rather than the bare position makes the ring's contents a pure
+     * function of the id set: if two workers ever hashed to the same
+     * position, a position-keyed map would let the later insertion
+     * clobber the earlier one, so ownership — and every affinitySet
+     * crossing that point — would depend on add/remove history. The
+     * pair key gives a deterministic total order under arbitrary
+     * churn, and lets removeWorker erase exactly its own points in
+     * O(virtual_nodes * log n) instead of scanning the whole ring.
+     */
+    std::set<std::pair<uint64_t, int>> ring_;
+    std::set<int> ids_; //!< distinct worker ids on the ring.
     int virtual_nodes_;
 };
 

@@ -153,12 +153,15 @@ FleetHealthSnapshot::toJson() const
     appendCountsJson(out, cluster);
     out += strformat(
         ", \"encoder_utilization\": %.6g, \"retry_rate\": %.6g, "
+        "\"retries\": %llu, \"completions\": %llu, "
         "\"backlog\": %llu, \"in_flight\": %llu, \"shed\": %llu, "
         "\"slo\": {\"alert_active\": %s, \"burn_rate\": %.6g, "
         "\"window_p99\": %.6g, \"queue_age\": %.6g, "
         "\"deadline_tracked\": %llu, \"deadline_miss_rate\": %.6g}, "
         "\"racks\": [",
         encoder_utilization, retry_rate,
+        static_cast<unsigned long long>(retries),
+        static_cast<unsigned long long>(completions),
         static_cast<unsigned long long>(backlog),
         static_cast<unsigned long long>(in_flight),
         static_cast<unsigned long long>(shed),

@@ -98,6 +98,12 @@ struct FleetHealthSnapshot
     HealthCounts cluster;
     double encoder_utilization = 0.0;
     double retry_rate = 0.0;
+    /** Raw lifetime counts behind retry_rate. The global router's
+     *  health gate needs the numerator/denominator, not the ratio:
+     *  it differences successive rollups to get a *windowed* retry
+     *  rate, which a pre-divided lifetime ratio cannot provide. */
+    uint64_t retries = 0;
+    uint64_t completions = 0;
     uint64_t backlog = 0;
     uint64_t in_flight = 0;
     /** Batch steps parked in the shed lot (live load shedding). */

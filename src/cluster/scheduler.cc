@@ -91,6 +91,28 @@ DispatchQueue::unparkAll()
     return released;
 }
 
+std::vector<TranscodeStep>
+DispatchQueue::drainAll()
+{
+    std::vector<TranscodeStep> out;
+    out.reserve(edf_.size() + fifo_.size() + shed_.size());
+    // EDF lane in dispatch order (heap pops), then FIFO, then shed —
+    // the receiving region re-queues in this order, so relative
+    // urgency survives the reroute.
+    while (!edf_.empty()) {
+        std::pop_heap(edf_.begin(), edf_.end());
+        out.push_back(std::move(edf_.back().step));
+        edf_.pop_back();
+    }
+    for (auto &step : fifo_)
+        out.push_back(std::move(step));
+    fifo_.clear();
+    for (auto &step : shed_)
+        out.push_back(std::move(step));
+    shed_.clear();
+    return out;
+}
+
 ResourceVector
 Scheduler::reservationFor(const ResourceVector &need) const
 {

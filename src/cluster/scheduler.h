@@ -79,6 +79,15 @@ class DispatchQueue
     /** Steps sitting in the shed lot. */
     size_t shedSize() const { return shed_.size(); }
 
+    /**
+     * Remove and return every queued step — dispatch lanes in dispatch
+     * order (EDF lane first, then FIFO), then the shed lot oldest
+     * first. Used by the global router to expel a quarantined region's
+     * backlog for rerouting; the caller owns the ledger consequences
+     * (the steps leave this cluster's conservation terms).
+     */
+    std::vector<TranscodeStep> drainAll();
+
   private:
     /** EDF heap entry; min-heap on (deadline, seq). */
     struct EdfEntry

@@ -59,6 +59,14 @@ SloMonitor::find(uint64_t step_id) const
     return inflight_.find(step_id);
 }
 
+void
+SloMonitor::onCancel(uint64_t step_id)
+{
+    // The stale submit_order_ entry (if any) is lazily discarded by
+    // queueAge()/onSubmit, same as a re-submission.
+    inflight_.erase(step_id);
+}
+
 double
 SloMonitor::onComplete(uint64_t step_id, double now)
 {

@@ -134,6 +134,16 @@ class SloMonitor
      */
     double onComplete(uint64_t step_id, double now);
 
+    /**
+     * A step left this cluster without completing (expelled for
+     * cross-region reroute). Drops the tracking entry with no latency
+     * or deadline accounting — the receiving region measures the
+     * upload from its own onSubmit. Without this, expelled steps
+     * would sit in the in-flight map forever, skewing queueAge and
+     * leaking under sustained quarantine.
+     */
+    void onCancel(uint64_t step_id);
+
     /** Evaluate the windowed signals and the alert at tick time. */
     void onTick(double now);
 

@@ -61,6 +61,14 @@ struct TranscodeStep
      */
     double deadline_time = std::numeric_limits<double>::infinity();
 
+    /**
+     * Region the upload originated in (-1 = untagged / single-cluster
+     * use). The global router prefers placing a step in its origin
+     * region (locality) and counts a placement elsewhere as a reroute.
+     * Purely routing metadata; the cluster sim ignores it.
+     */
+    int origin_region = -1;
+
     /** Does this step carry a live deadline? */
     bool hasDeadline() const { return std::isfinite(deadline_time); }
 

@@ -1,0 +1,62 @@
+#include "global/region_health.h"
+
+#include "common/logging.h"
+
+namespace wsva::global {
+
+RegionHealthGate::RegionHealthGate(RegionHealthConfig cfg) : cfg_(cfg)
+{
+    WSVA_ASSERT(cfg_.window_steps >= 1, "window needs at least 1 step");
+    WSVA_ASSERT(cfg_.readmit_retry_rate < cfg_.quarantine_retry_rate,
+                "readmit threshold must sit below the quarantine "
+                "threshold (no hysteresis band otherwise)");
+}
+
+double
+RegionHealthGate::windowRetryRate() const
+{
+    const uint64_t attempts = windowAttempts();
+    if (attempts < cfg_.min_window_attempts || attempts == 0)
+        return 0.0;
+    return static_cast<double>(window_retries_) /
+           static_cast<double>(attempts);
+}
+
+RegionHealthGate::Transition
+RegionHealthGate::observe(double now, uint64_t retries,
+                          uint64_t completions)
+{
+    window_.emplace_back(retries, completions);
+    window_retries_ += retries;
+    window_completions_ += completions;
+    while (window_.size() > cfg_.window_steps) {
+        window_retries_ -= window_.front().first;
+        window_completions_ -= window_.front().second;
+        window_.pop_front();
+    }
+
+    const double rate = windowRetryRate();
+    if (!quarantined_) {
+        if (rate >= cfg_.quarantine_retry_rate) {
+            quarantined_ = true;
+            entered_at_ = now;
+            ++entries_;
+            return Transition::Quarantined;
+        }
+        return Transition::None;
+    }
+    // Quarantined: both legs of the hysteresis must clear. The rate
+    // leg also passes when the window has drained below the attempts
+    // floor (rate reads 0) — an idle region earns a probe after the
+    // dwell; if it is still sick, the next window re-quarantines it,
+    // at a frequency bounded by the dwell.
+    if (now - entered_at_ >= cfg_.min_quarantine_seconds &&
+        rate <= cfg_.readmit_retry_rate) {
+        quarantined_ = false;
+        ++readmissions_;
+        return Transition::Readmitted;
+    }
+    return Transition::None;
+}
+
+} // namespace wsva::global

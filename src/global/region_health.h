@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hysteretic per-region health gate for the global router.
+ *
+ * The paper's black-hole failure mode (Section 4.4): a fast-failing
+ * cluster completes work quickly and wrongly, so load-based routing
+ * *prefers* it — the faster it fails, the more traffic it attracts.
+ * The defense is to gate routing on a health signal rather than load
+ * alone: a region whose windowed retry rate crosses a quarantine
+ * threshold is removed from the routing ring, and it is re-admitted
+ * only after the rate recovers AND a minimum dwell time has passed.
+ * The two-sided threshold plus the dwell is the hysteresis that keeps
+ * a region oscillating at the line from flapping in and out of the
+ * ring every router step.
+ */
+
+#ifndef WSVA_GLOBAL_REGION_HEALTH_H
+#define WSVA_GLOBAL_REGION_HEALTH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+
+namespace wsva::global {
+
+/** Health-gate thresholds and hysteresis. */
+struct RegionHealthConfig
+{
+    /**
+     * Enter quarantine when the windowed retry rate
+     * (retries / (retries + completions)) reaches this.
+     */
+    double quarantine_retry_rate = 0.5;
+
+    /**
+     * Leave quarantine only once the windowed rate is back at or
+     * under this (must be < quarantine_retry_rate for the hysteresis
+     * band to exist).
+     */
+    double readmit_retry_rate = 0.1;
+
+    /** ... and at least this much sim time has been served in
+     *  quarantine. Bounds the flap frequency: even a region that
+     *  recovers (or drains to silence) instantly cannot re-enter the
+     *  ring faster than once per dwell. */
+    double min_quarantine_seconds = 60.0;
+
+    /** Router steps in the sliding observation window. */
+    size_t window_steps = 8;
+
+    /**
+     * Attempts (retries + completions) the window must hold before
+     * the rate is trusted. Below the floor the rate reads as 0 — a
+     * region serving almost nothing is not condemned on one unlucky
+     * retry, and a quarantined region that has drained idle becomes
+     * eligible for re-admission.
+     */
+    uint64_t min_window_attempts = 50;
+};
+
+/**
+ * Per-region quarantine state machine. The router feeds it one
+ * (retries, completions) delta per router step — the counts from the
+ * slice of sim time just executed — and reads back the gate state.
+ */
+class RegionHealthGate
+{
+  public:
+    explicit RegionHealthGate(RegionHealthConfig cfg = {});
+
+    /** Gate transition reported by observe(). */
+    enum class Transition
+    {
+        None = 0,
+        Quarantined, //!< Entered quarantine on this observation.
+        Readmitted,  //!< Left quarantine on this observation.
+    };
+
+    /**
+     * Observe one router step's deltas at sim time @p now.
+     * @return the state transition this observation caused, if any.
+     */
+    Transition observe(double now, uint64_t retries,
+                       uint64_t completions);
+
+    bool quarantined() const { return quarantined_; }
+
+    /** Windowed retry rate (0 below the attempts floor). */
+    double windowRetryRate() const;
+
+    /** Attempts currently in the window. */
+    uint64_t windowAttempts() const
+    {
+        return window_retries_ + window_completions_;
+    }
+
+    /** Lifetime quarantine entries (the flap bound under test). */
+    uint64_t quarantineEntries() const { return entries_; }
+
+    /** Lifetime re-admissions. */
+    uint64_t readmissions() const { return readmissions_; }
+
+    /** Sim time of the last quarantine entry (meaningless unless
+     *  quarantined()). */
+    double quarantinedSince() const { return entered_at_; }
+
+    const RegionHealthConfig &config() const { return cfg_; }
+
+  private:
+    RegionHealthConfig cfg_;
+    // Per-router-step (retries, completions) deltas, newest at the
+    // back, pruned to window_steps; sums kept incrementally.
+    std::deque<std::pair<uint64_t, uint64_t>> window_;
+    uint64_t window_retries_ = 0;
+    uint64_t window_completions_ = 0;
+    bool quarantined_ = false;
+    double entered_at_ = 0.0;
+    uint64_t entries_ = 0;
+    uint64_t readmissions_ = 0;
+};
+
+} // namespace wsva::global
+
+#endif // WSVA_GLOBAL_REGION_HEALTH_H

@@ -124,6 +124,34 @@ UploadTraffic::arrivals(double now, double dt)
     return steps;
 }
 
+RegionalUploadTraffic::RegionalUploadTraffic(int regions,
+                                             UploadTrafficConfig base)
+{
+    WSVA_ASSERT(regions >= 1, "need at least one region");
+    gens_.reserve(static_cast<size_t>(regions));
+    for (int r = 0; r < regions; ++r) {
+        UploadTrafficConfig cfg = base;
+        cfg.seed = base.seed + static_cast<uint64_t>(r);
+        gens_.emplace_back(cfg);
+    }
+}
+
+std::vector<TranscodeStep>
+RegionalUploadTraffic::arrivals(int region, double now, double dt)
+{
+    WSVA_ASSERT(region >= 0 && region < regions(), "bad region");
+    auto steps =
+        gens_[static_cast<size_t>(region)].arrivals(now, dt);
+    const uint64_t base = idBase(region);
+    for (auto &step : steps) {
+        step.id += base;
+        step.video_id += base;
+        step.origin_region = region;
+    }
+    steps_generated_ += steps.size();
+    return steps;
+}
+
 wsva::cluster::ArrivalFn
 UploadTraffic::asArrivalFn()
 {

@@ -101,6 +101,56 @@ class UploadTraffic
     uint64_t probe_steps_ = 0;
 };
 
+/**
+ * Region-tagged upload traffic for the global router: one independent
+ * UploadTraffic generator per region, each with a derived seed and a
+ * disjoint step/video id namespace.
+ *
+ * The id namespace matters: every per-region generator numbers its
+ * steps from 0, and a step spilled from region A into region B's sim
+ * would collide with B's own step ids inside B's SLO monitor and
+ * trace spans. Region r's ids live at ((r + 1) << 44) + n — far above
+ * any single generator's counter and disjoint across regions — and
+ * each step carries `origin_region = r` for locality routing.
+ */
+class RegionalUploadTraffic
+{
+  public:
+    /**
+     * @param regions Number of regions (>= 1).
+     * @param base Per-region generator config; region r runs with
+     *        seed `base.seed + r` so regions draw independent but
+     *        reproducible streams.
+     */
+    RegionalUploadTraffic(int regions, UploadTrafficConfig base);
+
+    /** Steps arriving in region @p region over a window of @p dt
+     *  seconds, id-namespaced and tagged with their origin. */
+    std::vector<wsva::cluster::TranscodeStep>
+    arrivals(int region, double now, double dt);
+
+    int regions() const { return static_cast<int>(gens_.size()); }
+
+    /** Steps generated so far across all regions. */
+    uint64_t stepsGenerated() const { return steps_generated_; }
+
+    /** The underlying per-region generator (stats access). */
+    const UploadTraffic &regionTraffic(int region) const
+    {
+        return gens_[static_cast<size_t>(region)];
+    }
+
+    /** The id-namespace base for region @p region. */
+    static uint64_t idBase(int region)
+    {
+        return (static_cast<uint64_t>(region) + 1) << 44;
+    }
+
+  private:
+    std::vector<UploadTraffic> gens_;
+    uint64_t steps_generated_ = 0;
+};
+
 /** Live streaming traffic parameters. */
 struct LiveTrafficConfig
 {

@@ -124,6 +124,58 @@ TEST(ConsistentHash, RepeatedRemoveIsIdempotent)
     EXPECT_EQ(ring.affinitySet(7, 5).size(), 2u);
 }
 
+TEST(ConsistentHash, ChurnKeepsLookupsDeterministic)
+{
+    // Quarantine churn regression: remove/re-add cycles must leave
+    // the ring byte-identical to its initial state — with a
+    // position-keyed map, a point-position collision would make
+    // ownership depend on insertion order, so churn could silently
+    // permute lookups. The pair-keyed ring is a pure function of the
+    // id set; 1k cycles must not move a single key.
+    ConsistentHashRing ring(ids(32));
+    std::map<uint64_t, std::vector<int>> before;
+    for (uint64_t key = 0; key < 256; ++key)
+        before[key] = ring.affinitySet(key, 3);
+
+    for (int cycle = 0; cycle < 1000; ++cycle) {
+        const int victim = cycle % 32;
+        ring.removeWorker(victim);
+        // While removed, nothing may route to the victim: a stale
+        // virtual point satisfying lookups is exactly the bug a
+        // quarantined region black-holing traffic would ride on.
+        for (uint64_t key = 0; key < 64; ++key) {
+            for (int id : ring.affinitySet(key, 3))
+                ASSERT_NE(id, victim) << "cycle " << cycle;
+        }
+        ring.addWorker(victim);
+    }
+
+    EXPECT_EQ(ring.workerCount(), 32u);
+    for (uint64_t key = 0; key < 256; ++key)
+        ASSERT_EQ(ring.affinitySet(key, 3), before[key]) << key;
+}
+
+TEST(ConsistentHash, ChurnOrderIndependence)
+{
+    // The same id set reached through different add/remove histories
+    // must produce the same ring. Build one ring directly and one
+    // through heavy interleaved churn; every lookup must agree.
+    ConsistentHashRing direct(ids(16));
+    ConsistentHashRing churned(ids(24));
+    for (int id = 16; id < 24; ++id)
+        churned.removeWorker(id);
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        for (int id = 15; id >= 0; --id)
+            churned.removeWorker(id);
+        for (int id = 0; id < 16; ++id)
+            churned.addWorker((id * 7) % 16); // Permuted re-add order.
+    }
+    EXPECT_EQ(direct.workerCount(), churned.workerCount());
+    for (uint64_t key = 0; key < 512; ++key)
+        ASSERT_EQ(direct.affinitySet(key, 4), churned.affinitySet(key, 4))
+            << key;
+}
+
 TEST(ConsistentHash, ClusterBlastRadiusShrinks)
 {
     // The paper's suggested enhancement: with affinity placement a

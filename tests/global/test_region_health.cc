@@ -1,0 +1,153 @@
+/**
+ * @file
+ * RegionHealth suite: the hysteretic quarantine state machine that
+ * gates regions in and out of the global routing ring. The flap
+ * bound is the load-bearing property — a region oscillating exactly
+ * at the threshold must not enter/exit the ring faster than the
+ * dwell allows.
+ */
+
+#include "global/region_health.h"
+
+#include <gtest/gtest.h>
+
+namespace wsva::global {
+namespace {
+
+RegionHealthConfig
+gateConfig()
+{
+    RegionHealthConfig cfg;
+    cfg.quarantine_retry_rate = 0.5;
+    cfg.readmit_retry_rate = 0.1;
+    cfg.min_quarantine_seconds = 60.0;
+    cfg.window_steps = 4;
+    cfg.min_window_attempts = 10;
+    return cfg;
+}
+
+TEST(RegionHealth, EntersQuarantineAtThreshold)
+{
+    RegionHealthGate gate(gateConfig());
+    // Below threshold: healthy traffic, no transition.
+    EXPECT_EQ(gate.observe(1.0, 2, 98),
+              RegionHealthGate::Transition::None);
+    EXPECT_FALSE(gate.quarantined());
+    // A step with retry rate over the line trips the gate.
+    EXPECT_EQ(gate.observe(2.0, 200, 10),
+              RegionHealthGate::Transition::Quarantined);
+    EXPECT_TRUE(gate.quarantined());
+    EXPECT_EQ(gate.quarantineEntries(), 1u);
+    EXPECT_DOUBLE_EQ(gate.quarantinedSince(), 2.0);
+}
+
+TEST(RegionHealth, AttemptsFloorSuppressesTheRate)
+{
+    // One unlucky retry on a nearly idle region must not condemn it:
+    // below the attempts floor the windowed rate reads zero.
+    RegionHealthGate gate(gateConfig());
+    EXPECT_EQ(gate.observe(1.0, 3, 0),
+              RegionHealthGate::Transition::None);
+    EXPECT_FALSE(gate.quarantined());
+    EXPECT_DOUBLE_EQ(gate.windowRetryRate(), 0.0);
+    EXPECT_EQ(gate.windowAttempts(), 3u);
+}
+
+TEST(RegionHealth, ReadmissionNeedsBothDwellAndRecovery)
+{
+    RegionHealthGate gate(gateConfig());
+    ASSERT_EQ(gate.observe(0.0, 100, 0),
+              RegionHealthGate::Transition::Quarantined);
+
+    // Clean steps age the bad sample out of the 4-step window: the
+    // rate leg recovers fully by t=13, but the 60 s dwell has not
+    // been served, so the region stays out.
+    gate.observe(10.0, 0, 100);
+    gate.observe(11.0, 0, 100);
+    gate.observe(12.0, 0, 100);
+    EXPECT_EQ(gate.observe(13.0, 0, 100),
+              RegionHealthGate::Transition::None);
+    EXPECT_DOUBLE_EQ(gate.windowRetryRate(), 0.0);
+    EXPECT_TRUE(gate.quarantined());
+
+    // Dwell passed — but a relapse sample keeps the windowed rate
+    // above the readmit line until it ages out.
+    EXPECT_EQ(gate.observe(70.0, 50, 50),
+              RegionHealthGate::Transition::None);
+    EXPECT_TRUE(gate.quarantined());
+    gate.observe(71.0, 0, 100); // Window rate: 50/450 ≈ 0.11 > 0.1.
+    gate.observe(72.0, 0, 100);
+    EXPECT_EQ(gate.observe(73.0, 0, 100),
+              RegionHealthGate::Transition::None);
+    EXPECT_TRUE(gate.quarantined());
+
+    // The relapse sample leaves the window; both legs now clear.
+    const auto t = gate.observe(74.0, 0, 100);
+    EXPECT_EQ(t, RegionHealthGate::Transition::Readmitted);
+    EXPECT_FALSE(gate.quarantined());
+    EXPECT_EQ(gate.readmissions(), 1u);
+}
+
+TEST(RegionHealth, DrainedIdleRegionEarnsAProbeAfterDwell)
+{
+    // A quarantined region that drains to silence (no attempts at
+    // all) reads rate 0 below the floor; after the dwell it must be
+    // re-admitted so the router can probe it — permanent exile on
+    // stale data is as wrong as flapping.
+    RegionHealthGate gate(gateConfig());
+    ASSERT_EQ(gate.observe(0.0, 100, 0),
+              RegionHealthGate::Transition::Quarantined);
+    for (int s = 1; s <= 59; ++s)
+        ASSERT_EQ(gate.observe(s, 0, 0),
+                  RegionHealthGate::Transition::None);
+    EXPECT_EQ(gate.observe(60.0, 0, 0),
+              RegionHealthGate::Transition::Readmitted);
+}
+
+TEST(RegionHealth, OscillatingRegionDoesNotFlap)
+{
+    // A region alternating between all-retries and all-completions
+    // every observation sits exactly on the threshold boundary. The
+    // dwell bounds how often it can cycle: over T seconds of 1 Hz
+    // observations, entries can never exceed T / dwell + 1, and
+    // without the dwell this workload would flap on nearly every
+    // observation.
+    RegionHealthConfig cfg = gateConfig();
+    cfg.window_steps = 1; // Worst case: the window *is* the last step.
+    RegionHealthGate gate(cfg);
+
+    const int horizon = 10000;
+    for (int s = 0; s < horizon; ++s) {
+        if (s % 2 == 0)
+            gate.observe(s, 100, 0); // Black-holing.
+        else
+            gate.observe(s, 0, 100); // Sparkling clean.
+    }
+    const uint64_t max_cycles =
+        static_cast<uint64_t>(horizon /
+                              cfg.min_quarantine_seconds) + 1;
+    EXPECT_GE(gate.quarantineEntries(), 2u); // It does oscillate...
+    EXPECT_LE(gate.quarantineEntries(), max_cycles); // ...boundedly.
+    EXPECT_LE(gate.readmissions(), gate.quarantineEntries());
+    // Enter/exit stay paired: the gate never double-enters.
+    EXPECT_GE(gate.readmissions() + 1, gate.quarantineEntries());
+}
+
+TEST(RegionHealth, WindowEvictsOldSamples)
+{
+    RegionHealthConfig cfg = gateConfig();
+    cfg.min_window_attempts = 1;
+    RegionHealthGate gate(cfg);
+    gate.observe(1.0, 8, 2);
+    EXPECT_DOUBLE_EQ(gate.windowRetryRate(), 0.8);
+    // Four clean steps push the bad one out entirely.
+    gate.observe(2.0, 0, 10);
+    gate.observe(3.0, 0, 10);
+    gate.observe(4.0, 0, 10);
+    gate.observe(5.0, 0, 10);
+    EXPECT_DOUBLE_EQ(gate.windowRetryRate(), 0.0);
+    EXPECT_EQ(gate.windowAttempts(), 40u);
+}
+
+} // namespace
+} // namespace wsva::global
