@@ -8,6 +8,11 @@
  * instrumented run recorded: span counts per category, the size of
  * the exported Chrome trace, and the SLO summary.
  *
+ * A second paired arm measures the continuous-profiling layer the
+ * same way: profiler fully on (phase timers + wall-clock sampler)
+ * versus dark, tracing/SLO off in both so the delta is the profiler
+ * alone. Same methodology, same <= 5% budget, same loud exit.
+ *
  * Emits JSON on stdout (`bench/run_benches.sh` redirects it into
  * BENCH_observability.json) and exits non-zero when the overhead
  * budget is blown, so CI fails loudly instead of drifting.
@@ -24,6 +29,7 @@
 
 #include "cluster/cluster.h"
 #include "common/debug_server.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 using namespace wsva::cluster;
@@ -119,6 +125,31 @@ timedRun(bool spans_and_slo)
 }
 
 /**
+ * Profiler arm: same scenario with tracing/SLO off in both runs, so
+ * the paired delta is the continuous-profiling layer alone. The
+ * enabled run carries the full posture — phase timers recording on
+ * the sim thread plus the wall-clock sampler thread, which bills to
+ * the same process-CPU clock the measurement reads.
+ */
+double
+profiledRun(bool profiler_on)
+{
+    auto &prof = wsva::prof::ProfileRegistry::instance();
+    prof.stopSampler();
+    prof.reset();
+    prof.setEnabled(profiler_on);
+    if (profiler_on)
+        prof.startSampler();
+    ClusterSim sim(benchConfig(false));
+    const double t0 = cpuSeconds();
+    sim.run(kHorizonSeconds, kTickSeconds, steadyArrivals());
+    const double elapsed = cpuSeconds() - t0;
+    prof.stopSampler();
+    prof.setEnabled(false);
+    return elapsed;
+}
+
+/**
  * Median per-pair CPU-time ratio across kReps alternating-order
  * pairs (the bench_cluster methodology: a noisy-neighbor slowdown
  * spanning one pair scales both of its runs alike, so the ratio
@@ -131,10 +162,10 @@ timedRun(bool spans_and_slo)
  * to hold a 5% budget on.
  */
 void
-measureOverhead(double *enabled_s, double *disabled_s,
-                double *overhead_pct)
+measureOverhead(double (*run)(bool), double *enabled_s,
+                double *disabled_s, double *overhead_pct)
 {
-    timedRun(true); // Warm-up: page cache, allocator, branch state.
+    run(true); // Warm-up: page cache, allocator, branch state.
     *enabled_s = 1e30;
     *disabled_s = 1e30;
     std::vector<double> ratios;
@@ -143,8 +174,8 @@ measureOverhead(double *enabled_s, double *disabled_s,
         double en = 1e30;
         double dis = 1e30;
         for (int pass = 0; pass < 2; ++pass) {
-            const double a = timedRun(enabled_first);
-            const double b = timedRun(!enabled_first);
+            const double a = run(enabled_first);
+            const double b = run(!enabled_first);
             en = std::min(en, enabled_first ? a : b);
             dis = std::min(dis, enabled_first ? b : a);
         }
@@ -181,7 +212,14 @@ main()
     double enabled_s = 0.0;
     double disabled_s = 0.0;
     double overhead_pct = 0.0;
-    measureOverhead(&enabled_s, &disabled_s, &overhead_pct);
+    measureOverhead(timedRun, &enabled_s, &disabled_s, &overhead_pct);
+
+    // --- Profiler overhead: same pairing, profiler on vs dark. -----
+    double prof_enabled_s = 0.0;
+    double prof_dark_s = 0.0;
+    double prof_overhead_pct = 0.0;
+    measureOverhead(profiledRun, &prof_enabled_s, &prof_dark_s,
+                    &prof_overhead_pct);
 
     std::printf("{\n");
     std::printf("  \"bench\": \"observability\",\n");
@@ -229,6 +267,15 @@ main()
     std::printf("    \"budget_pct\": %.1f,\n", kOverheadBudgetPct);
     std::printf("    \"within_budget\": %s\n",
                 overhead_pct <= kOverheadBudgetPct ? "true" : "false");
+    std::printf("  },\n");
+    std::printf("  \"profiler_overhead\": {\n");
+    std::printf("    \"enabled_cpu_ms\": %.3f,\n", prof_enabled_s * 1e3);
+    std::printf("    \"dark_cpu_ms\": %.3f,\n", prof_dark_s * 1e3);
+    std::printf("    \"overhead_pct\": %.2f,\n", prof_overhead_pct);
+    std::printf("    \"budget_pct\": %.1f,\n", kOverheadBudgetPct);
+    std::printf("    \"within_budget\": %s\n",
+                prof_overhead_pct <= kOverheadBudgetPct ? "true"
+                                                        : "false");
     std::printf("  }\n");
     std::printf("}\n");
 
@@ -236,6 +283,12 @@ main()
         std::fprintf(stderr,
                      "observability overhead %.2f%% exceeds %.1f%% budget\n",
                      overhead_pct, kOverheadBudgetPct);
+        return 1;
+    }
+    if (prof_overhead_pct > kOverheadBudgetPct) {
+        std::fprintf(stderr,
+                     "profiler overhead %.2f%% exceeds %.1f%% budget\n",
+                     prof_overhead_pct, kOverheadBudgetPct);
         return 1;
     }
     if (tracer.recorded() == 0) {

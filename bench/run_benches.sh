@@ -14,7 +14,7 @@ build_dir=${1:-"$repo_root/build"}
 missing=""
 for bench in bench_parallel_pipeline bench_cluster bench_optimizer \
              bench_observability bench_fleet_scale bench_live_surge \
-             bench_global; do
+             bench_global bench_profile; do
     [ -x "$build_dir/bench/$bench" ] || missing="$missing $bench"
 done
 if [ -n "$missing" ]; then
@@ -49,12 +49,39 @@ echo "Wrote $repo_root/BENCH_observability.json" >&2
 # bench_fleet_scale exits non-zero on a conservation or telemetry-
 # gating failure; on success its JSON is schema-checked before the
 # file is accepted (the fleet-scale claims — 200k VCUs, >= 1M steps,
-# >= 20x tick-vs-event speedup — are load-bearing numbers).
+# >= 20x tick-vs-event speedup — are load-bearing numbers), and the
+# top-scale event-engine throughput is gated against the previous
+# committed file: a >10% events/s drop fails the run. The committed
+# baseline runs profiler-dark, so this gate is also the "dark mode
+# costs ~nothing" regression check for the profiling layer. The
+# baseline is committed in-tree, so its absence means a broken
+# checkout — fail loudly rather than silently skipping the gate.
 echo "Running bench_fleet_scale (tick arms take ~1 min) ..." >&2
+prev_fleet_eps=""
+if command -v python3 >/dev/null; then
+    if [ ! -f "$repo_root/BENCH_fleet_scale.json" ]; then
+        echo "missing baseline $repo_root/BENCH_fleet_scale.json" \
+             "(needed for the events/s regression gate)" >&2
+        exit 1
+    fi
+    prev_fleet_eps=$(python3 -c '
+import json, sys
+try:
+    doc = json.load(open(sys.argv[1]))
+    top = max(doc["sweep"], key=lambda s: s["hosts"])
+    print(top["event"]["events_per_s"])
+except Exception:
+    pass' "$repo_root/BENCH_fleet_scale.json")
+    if [ -z "$prev_fleet_eps" ]; then
+        echo "baseline BENCH_fleet_scale.json is unreadable" >&2
+        exit 1
+    fi
+fi
 "$build_dir/bench/bench_fleet_scale" \
     > "$repo_root/BENCH_fleet_scale.json"
 if command -v python3 >/dev/null; then
-    if ! python3 - "$repo_root/BENCH_fleet_scale.json" <<'EOF'
+    if ! python3 - "$repo_root/BENCH_fleet_scale.json" \
+                  "${prev_fleet_eps:-}" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["bench"] == "fleet_scale"
@@ -67,6 +94,12 @@ assert top["event"]["events_per_s"] > 0
 assert top["event"]["rss_bytes_per_worker"] > 0
 assert doc["speedup"]["meets_target"], "tick-vs-event speedup < 20x"
 assert doc["conservation_holds_all_arms"] is True
+prev = sys.argv[2] if len(sys.argv) > 2 else ""
+if prev:
+    cur = float(top["event"]["events_per_s"])
+    ref = float(prev)
+    assert cur >= 0.90 * ref, \
+        f"events/s regressed >10%: {cur:.0f} vs {ref:.0f}"
 EOF
     then
         echo "BENCH_fleet_scale.json failed schema check" >&2
@@ -197,6 +230,46 @@ else
 fi
 echo "Wrote $repo_root/BENCH_global.json" >&2
 
+# bench_profile exits non-zero on a broken ledger, an empty profile,
+# or an absurd profiler-overhead ratio; its JSON is then schema-
+# checked (the top-10 hotspot table and the dispatch-share answer to
+# the ROADMAP sharding question are the load-bearing pieces).
+echo "Running bench_profile (fleet arms take ~10 s) ..." >&2
+"$build_dir/bench/bench_profile" \
+    > "$repo_root/BENCH_profile.json"
+if command -v python3 >/dev/null; then
+    if ! python3 - "$repo_root/BENCH_profile.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["bench"] == "profile"
+for key in ("scenario", "fleet_hotspots", "overhead", "codec_kernels"):
+    assert key in doc, f"missing key: {key}"
+hot = doc["fleet_hotspots"]
+assert doc["scenario"]["vcus"] >= 200000, "below 200k VCUs"
+assert len(hot["top10"]) >= 5, "fewer than 5 hotspots attributed"
+for row in hot["top10"]:
+    assert row["phase"] and row["calls"] >= 1
+    assert row["excl_ms"] <= row["incl_ms"] + 1e-9
+assert hot["total_samples"] > 0, "wall-clock sampler collected nothing"
+sq = hot["sharding_question"]
+assert sq["run_incl_ms"] > 0 and 0 <= sq["dispatch_share_pct"] <= 100
+assert doc["overhead"]["within_sanity_budget"] is True
+kernels = doc["codec_kernels"]["kernels"]
+assert len(kernels) >= 3, "codec kernel attribution incomplete"
+assert doc["codec_kernels"]["top_simd_target"], "no SIMD target ranked"
+assert doc["conservation_holds_all_arms"] is True
+EOF
+    then
+        echo "BENCH_profile.json failed schema check" >&2
+        exit 1
+    fi
+else
+    grep -q '"conservation_holds_all_arms": true' \
+        "$repo_root/BENCH_profile.json" \
+        || { echo "BENCH_profile.json failed schema check" >&2; exit 1; }
+fi
+echo "Wrote $repo_root/BENCH_profile.json" >&2
+
 # --- Debug-server end-to-end smoke -----------------------------------
 # Start the demo sim with its z-page server, scrape all five endpoints
 # over real HTTP, and validate /metrics against a minimal Prometheus
@@ -218,7 +291,7 @@ if [ -x "$build_dir/examples/cluster_demo" ] && command -v curl >/dev/null; then
     done
     [ -n "$port" ] || { echo "demo never printed its port" >&2; exit 1; }
 
-    for page in healthz varz metrics tracez statusz; do
+    for page in healthz varz metrics tracez statusz profilez; do
         if ! curl -sf "http://127.0.0.1:$port/$page" > /dev/null; then
             echo "endpoint /$page failed" >&2
             exit 1

@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/build_info.h"
 #include "common/debug_server.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace wsva::cluster {
 
 namespace {
+
+/** Interned-once phase ids for the cluster-side profiling scopes
+ *  (DESIGN.md section 13 has the taxonomy). */
+struct ClusterPhases {
+    int run;
+    int dispatch;
+    int dispatch_index;
+    int audit;
+    int collect;
+    int faults;
+    int repairs;
+    int publish;
+};
+
+const ClusterPhases &
+clusterPhases()
+{
+    static const ClusterPhases p{
+        prof::phaseId("cluster/run"),
+        prof::phaseId("cluster/dispatch"),
+        prof::phaseId("cluster/dispatch/index"),
+        prof::phaseId("cluster/audit"),
+        prof::phaseId("cluster/collect"),
+        prof::phaseId("cluster/faults"),
+        prof::phaseId("cluster/repairs"),
+        prof::phaseId("cluster/publish"),
+    };
+    return p;
+}
 
 /** retries / (completions + retries); 0 when nothing happened yet. */
 double
@@ -444,6 +475,7 @@ ClusterSim::scheduleBacklog(double now)
     // make room instead of waiting.
     if (dispatch_paused_)
         return; // Quarantined: queued work waits to be expelled.
+    prof::ProfScope prof_dispatch(clusterPhases().dispatch);
     maybeUnpark(now);
     size_t deferrals = 0;
     while (!backlog_.empty() && deferrals <= backlog_.size()) {
@@ -479,8 +511,16 @@ ClusterSim::scheduleBacklog(double now)
                 continue;
             }
         }
-        if (w == nullptr)
+        if (w == nullptr) {
+            // Availability-index time attributed separately from the
+            // rest of dispatch (the ROADMAP's sharding question).
+            // Sampled: picks run per placement (millions at fleet
+            // scale), so a full scope's clock reads would dominate
+            // the profiler's own overhead budget.
+            prof::ProfScopeSampled prof_index(
+                clusterPhases().dispatch_index, 16);
             w = scheduler_->pick(need);
+        }
         if (w == nullptr && step.hasDeadline() &&
             cfg_.deadline.shed_enabled) {
             // Projected slack if the step started right now. While it
@@ -708,6 +748,7 @@ ClusterSim::checkConservation(double now)
     // the fault/retry counter bugs a class that cannot silently
     // regress. Debug builds abort on violation; release builds count
     // and warn so a long bench run still finishes with evidence.
+    prof::ProfScope prof_audit(clusterPhases().audit);
     const ConservationSnapshot snap = conservation();
     ++metrics_.conservation_checks;
 #ifndef NDEBUG
@@ -811,15 +852,23 @@ ClusterSim::pullArrivals(const ArrivalFn &arrivals, double now,
 void
 ClusterSim::publishRollup(double now)
 {
+    prof::ProfScope prof_publish(clusterPhases().publish);
     fleet_.publish(buildFleetHealth(now));
-    if (registry_.enabled())
+    if (registry_.enabled()) {
         fleet_.exportGauges(registry_);
+        // Continuous profiling rides the same rollup cadence so
+        // profile.* gauges age no slower than fleet health does.
+        auto &profiler = prof::ProfileRegistry::instance();
+        if (profiler.enabled())
+            profiler.exportGauges(registry_);
+    }
 }
 
 ClusterMetrics
 ClusterSim::run(double duration, double dt, const ArrivalFn &arrivals)
 {
     WSVA_ASSERT(duration > 0 && dt > 0, "bad run parameters");
+    prof::ProfScope prof_run(clusterPhases().run);
     metrics_ = ClusterMetrics{};
     enc_util_samples_.reset();
     dec_util_samples_.reset();
@@ -840,9 +889,18 @@ ClusterSim::runTicks(double duration, double dt,
         clock_ = now;
         if (arrivals)
             pullArrivals(arrivals, now, dt);
-        injectFaults(now, dt);
-        manageRepairs(now);
-        collectCompletions(now);
+        {
+            prof::ProfScope prof_faults(clusterPhases().faults);
+            injectFaults(now, dt);
+        }
+        {
+            prof::ProfScope prof_repairs(clusterPhases().repairs);
+            manageRepairs(now);
+        }
+        {
+            prof::ProfScope prof_collect(clusterPhases().collect);
+            collectCompletions(now);
+        }
         scheduleBacklog(now);
         checkConservation(now);
         sampleTick(now);
@@ -998,6 +1056,7 @@ ClusterSim::attachDebugServer(wsva::DebugServer &server,
     sources.metrics = &registry_;
     sources.tracer = tracer_;
     sources.build_info = build_info;
+    sources.export_schema_version = kExportSchemaVersion;
     // The handlers run on scrape threads while run() ticks on the sim
     // thread, so they may only read the double-buffered board (and
     // immutable config captured by value) — never slo_ or clock_.
@@ -1038,6 +1097,10 @@ ClusterSim::exportJson(size_t max_trace_events) const
     out += trace_.toJson(max_trace_events);
     out += ",\n\"slo\": ";
     out += slo_.exportJson(clock_);
+    out += ",\n\"build\": ";
+    out += buildInfoJson(kExportSchemaVersion);
+    out += ",\n\"profile\": ";
+    out += prof::ProfileRegistry::instance().toJson();
     out += ",\n\"fleet_health\": ";
     // Reuse the published (double-buffered) rollup rather than
     // re-scanning every worker on each export; a live build is the

@@ -320,9 +320,11 @@ class ClusterSim
      * documents). Bump here, and only here, on any structural change.
      * History: 2 added "fleet_health"; 3 added the "shed"
      * conservation term and the SLO deadline-miss fields; 4 added the
-     * "rerouted_away" conservation term and the global-router export.
+     * "rerouted_away" conservation term and the global-router export;
+     * 5 added the "build" stamp and the "profile" block (continuous
+     * profiling layer).
      */
-    static constexpr int kExportSchemaVersion = 4;
+    static constexpr int kExportSchemaVersion = 5;
 
     explicit ClusterSim(ClusterConfig cfg);
 

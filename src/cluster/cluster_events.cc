@@ -38,6 +38,36 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/profiler.h"
+
+namespace {
+
+/** Interned phase id per SimEventType, indexed by the enum value. */
+struct EventPhases {
+    int ids[7];
+    int byType(size_t type) const
+    {
+        return type < 7 ? ids[type] : -1;
+    }
+};
+
+const EventPhases &
+eventPhases()
+{
+    using wsva::prof::phaseId;
+    static const EventPhases p{{
+        phaseId("event/arrival_batch"),
+        phaseId("event/hard_fault"),
+        phaseId("event/silent_fault"),
+        phaseId("event/repair_done"),
+        phaseId("event/worker_done"),
+        phaseId("event/slo_eval"),
+        phaseId("event/publish"),
+    }};
+    return p;
+}
+
+} // namespace
 
 namespace wsva::cluster {
 
@@ -247,6 +277,11 @@ ClusterSim::runEvents(double duration, double dt,
             const EventQueue::Event e = st.queue.pop();
             clock_ = e.time;
             ++metrics_.events_processed;
+            // One phase scope per popped event gives the profiler
+            // per-event-type time attribution (dark cost: one relaxed
+            // load + branch; see profiler.h).
+            prof::ProfScope prof_event(
+                eventPhases().byType(static_cast<size_t>(e.type)));
             switch (e.type) {
             case SimEventType::ArrivalBatch:
                 handleArrivalBatch(*st.arrivals, e.time);

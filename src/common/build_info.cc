@@ -1,0 +1,64 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace wsva {
+
+namespace {
+
+std::chrono::steady_clock::time_point
+processEpoch()
+{
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return epoch;
+}
+
+// Touch the epoch at static-init time so uptime starts near process
+// start even if the first buildInfoJson call is late.
+const bool g_epoch_primed = (processEpoch(), true);
+
+}  // namespace
+
+const char *
+buildType()
+{
+#ifdef WSVA_BUILD_TYPE
+    return WSVA_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+bool
+buildNativeArch()
+{
+#ifdef WSVA_NATIVE_ARCH_BUILD
+    return true;
+#else
+    return false;
+#endif
+}
+
+double
+processUptimeSeconds()
+{
+    (void)g_epoch_primed;
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         processEpoch())
+        .count();
+}
+
+std::string
+buildInfoJson(int export_schema_version)
+{
+    return strformat(
+        "{\"build_type\": \"%s\", \"native_arch\": %s, "
+        "\"export_schema_version\": %d, \"uptime_s\": %.3f}",
+        buildType(), buildNativeArch() ? "true" : "false",
+        export_schema_version, processUptimeSeconds());
+}
+
+}  // namespace wsva

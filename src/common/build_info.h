@@ -1,0 +1,38 @@
+#ifndef WSVA_COMMON_BUILD_INFO_H_
+#define WSVA_COMMON_BUILD_INFO_H_
+
+/**
+ * Build-info stamp for /varz, /healthz, and exportJson.
+ *
+ * Bench sweeps compare JSON artifacts produced by different binaries;
+ * the stamp (build type, -march=native on/off, export schema version,
+ * process uptime) lets a scrape detect mismatched arms before the
+ * numbers are trusted.
+ */
+
+#include <string>
+
+namespace wsva {
+
+/** CMAKE_BUILD_TYPE baked in at compile time ("Release", "Debug",
+ *  ...; "unknown" when the definition is missing). */
+const char *buildType();
+
+/** True when the binary was compiled with WSVA_NATIVE_ARCH=ON
+ *  (-march=native). */
+bool buildNativeArch();
+
+/** Seconds since this process first asked for build info (a static
+ *  steady_clock epoch captured at first use, i.e. early in startup). */
+double processUptimeSeconds();
+
+/**
+ * JSON object (no trailing newline):
+ *   {"build_type": "Release", "native_arch": false,
+ *    "export_schema_version": 5, "uptime_s": 1.2}
+ */
+std::string buildInfoJson(int export_schema_version);
+
+}  // namespace wsva
+
+#endif  // WSVA_COMMON_BUILD_INFO_H_

@@ -11,8 +11,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/build_info.h"
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace wsva {
@@ -376,14 +378,16 @@ registerZPages(DebugServer &server, ZPageSources sources)
 {
     const std::string build =
         sources.build_info.empty() ? "wsva" : sources.build_info;
+    const int schema = sources.export_schema_version;
     auto healthz_extra = sources.healthz_extra;
     server.addPage(
         "/healthz", "liveness + build/schema info",
-        [build, healthz_extra](const std::string &) {
+        [build, healthz_extra, schema](const std::string &) {
             DebugResponse resp;
             resp.content_type = "application/json";
             resp.body = "{\"status\": \"ok\", \"build\": \"" + build +
-                        "\", \"metrics_schema_version\": 1";
+                        "\", \"build_info\": " + buildInfoJson(schema) +
+                        ", \"metrics_schema_version\": 1";
             if (healthz_extra) {
                 const std::string extra = healthz_extra();
                 if (!extra.empty())
@@ -396,10 +400,18 @@ registerZPages(DebugServer &server, ZPageSources sources)
     if (sources.metrics != nullptr) {
         const MetricsRegistry *metrics = sources.metrics;
         server.addPage("/varz", "metrics registry (JSON)",
-                       [metrics](const std::string &) {
+                       [metrics, schema](const std::string &) {
                            DebugResponse resp;
                            resp.content_type = "application/json";
-                           resp.body = metrics->toJson();
+                           // Splice the build stamp into the registry
+                           // object so existing top-level keys
+                           // ("counters", ...) stay where scrapers
+                           // expect them.
+                           std::string body = metrics->toJson();
+                           body.insert(1, "\n  \"build\": " +
+                                              buildInfoJson(schema) +
+                                              ",");
+                           resp.body = std::move(body);
                            resp.body += '\n';
                            return resp;
                        });
@@ -433,6 +445,27 @@ registerZPages(DebugServer &server, ZPageSources sources)
                            return resp;
                        });
     }
+
+    // Continuous-profiling pages. The profiler is process-global and
+    // its aggregation paths are lock-free against recorders (board
+    // reads) or take only the registry mutex against other scrapes,
+    // so these are safe in every binary, dark or enabled.
+    server.addPage("/profilez",
+                   "phase profile: top-k table + per-thread breakdown",
+                   [](const std::string &) {
+                       DebugResponse resp;
+                       resp.body =
+                           prof::ProfileRegistry::instance().toText();
+                       return resp;
+                   });
+    server.addPage("/profilez/flame",
+                   "collapsed stacks (flamegraph.pl / speedscope)",
+                   [](const std::string &) {
+                       DebugResponse resp;
+                       resp.body =
+                           prof::ProfileRegistry::instance().toCollapsed();
+                       return resp;
+                   });
 }
 
 } // namespace wsva

@@ -193,10 +193,16 @@ struct ZPageSources
 
     /** Free-form build/binary identification shown on /healthz. */
     std::string build_info;
+
+    /** Export schema version stamped into the /varz and /healthz
+     *  build-info block (see build_info.h); lets scrapes detect
+     *  mismatched binaries across bench arms. */
+    int export_schema_version = 0;
 };
 
 /** Register the standard pages (/healthz, /varz, /metrics, /tracez,
- *  /statusz — each only when its source is present). */
+ *  /statusz — each only when its source is present — plus /profilez
+ *  and /profilez/flame, which read the process-global profiler). */
 void registerZPages(DebugServer &server, ZPageSources sources);
 
 /**

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace wsva {
@@ -122,11 +123,19 @@ ThreadPool::tryGetJob(size_t self, std::function<void()> &job)
 void
 ThreadPool::workerLoop(size_t self)
 {
+    static const int kJobPhase = prof::phaseId("pool/job");
+    prof::ProfileRegistry::instance().setThreadName(
+        strformat("pool-%zu", self));
     while (true) {
         std::function<void()> job;
         if (tryGetJob(self, job)) {
             pending_.fetch_sub(1, std::memory_order_acq_rel);
-            job();
+            {
+                // Attribute job bodies (and any codec kernels they
+                // nest) to this worker's profile.
+                prof::ProfScope prof_job(kJobPhase);
+                job();
+            }
             continue;
         }
         std::unique_lock<std::mutex> lock(sleep_mutex_);

@@ -5,6 +5,7 @@
 
 #include "common/debug_server.h"
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace wsva::global {
 
@@ -211,14 +212,19 @@ GlobalRouter::runFor(double duration, const RegionalArrivalFn &arrivals)
         const double slice = step_end - clock_;
 
         // 1. Ingest this step's regional arrivals through routing.
-        if (arrivals) {
-            for (int r = 0; r < cfg_.regions; ++r) {
-                for (auto &step : arrivals(r, step_end, slice))
-                    routeStep(step, /*fresh=*/true);
+        static const int kRoutePhase = prof::phaseId("global/route");
+        {
+            prof::ProfScope prof_route(kRoutePhase);
+            if (arrivals) {
+                for (int r = 0; r < cfg_.regions; ++r) {
+                    for (auto &step : arrivals(r, step_end, slice))
+                        routeStep(step, /*fresh=*/true);
+                }
             }
+            // 2. Steps held while nothing was routable get another
+            //    try.
+            drainPending();
         }
-        // 2. Steps held while nothing was routable get another try.
-        drainPending();
 
         // 3. Advance every region one slice; each run() returns the
         //    slice's delta metrics (the per-run counters reset at
@@ -232,6 +238,8 @@ GlobalRouter::runFor(double duration, const RegionalArrivalFn &arrivals)
         clock_ = step_end;
 
         // 4. Health pass (after the slice so the gates see it).
+        static const int kHealthPhase = prof::phaseId("global/health");
+        prof::ProfScope prof_health(kHealthPhase);
         for (int r = 0; r < cfg_.regions; ++r)
             observeRegion(r, deltas[static_cast<size_t>(r)]);
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
 #include "video/codec/decoder.h"
@@ -80,6 +81,10 @@ encodeChunkJob(const std::vector<Frame> &chunk, Resolution resolution,
                const std::vector<FirstPassStats> &chunk_stats,
                size_t chunk_idx, double bitrate_scale)
 {
+    // Coarse pipeline phase; the codec kernels (motion search, DCT,
+    // interpolation) nest under it at runtime.
+    static const int kPhase = prof::phaseId("pipeline/encode_chunk");
+    prof::ProfScope prof_scope(kPhase);
     std::vector<Frame> scaled;
     scaled.reserve(chunk.size());
     for (const auto &f : chunk)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/profiler.h"
 #include "common/trace.h"
 
 namespace wsva::vcu {
@@ -11,6 +12,8 @@ simulatePipeline(const std::vector<StageSpec> &stages,
                  const std::vector<std::vector<uint32_t>> &service_cycles,
                  wsva::Tracer *tracer)
 {
+    static const int kPhase = prof::phaseId("vcu/hlsim");
+    prof::ProfScope prof_scope(kPhase);
     const size_t n_stages = stages.size();
     WSVA_ASSERT(n_stages >= 1, "pipeline needs at least one stage");
     WSVA_ASSERT(service_cycles.size() == n_stages,

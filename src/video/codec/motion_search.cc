@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace wsva::video::codec {
 
@@ -51,6 +52,11 @@ MotionResult
 searchMotion(const Plane &src, const Plane &ref, int x, int y, int n,
              Mv pred, int range, SearchKind kind, uint32_t mv_cost_bias)
 {
+    // Per-macroblock phase timer: SAD + refinement dominate encode
+    // CPU, and the SIMD roadmap item is ranked off this phase.
+    static const int kPhase = prof::phaseId("codec/motion_search");
+    prof::ProfScope prof_scope(kPhase);
+
     // The source block never changes across candidates: fetch it once
     // per macroblock and run every SAD against the cached copy.
     uint8_t cur[64 * 64];

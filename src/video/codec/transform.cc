@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace wsva::video::codec {
 
@@ -171,6 +172,10 @@ int
 transformQuantize(const ResidualBlock &residual, int qp, double deadzone,
                   CoeffBlock &levels, ResidualBlock &recon_residual)
 {
+    static const int kPhase = prof::phaseId("codec/dct_quant");
+    // Sampled: one call per 4x4 block (hundreds of thousands per
+    // clip), far too hot to clock every invocation.
+    prof::ProfScopeSampled prof_scope(kPhase, 16);
     std::array<int32_t, kTxCoeffs> freq;
     forwardDct(residual, freq);
     quantize(freq, qp, deadzone, levels);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/profiler.h"
 
 namespace wsva::video {
 
@@ -73,6 +74,8 @@ bilinearUpscale(const Plane &src, int dw, int dh)
 Plane
 scalePlane(const Plane &src, int dst_width, int dst_height)
 {
+    static const int kPhase = prof::phaseId("codec/interpolate");
+    prof::ProfScope prof_scope(kPhase);
     WSVA_ASSERT(dst_width > 0 && dst_height > 0,
                 "bad scale target %dx%d", dst_width, dst_height);
     if (dst_width == src.width() && dst_height == src.height())

@@ -381,7 +381,7 @@ TEST(GlobalRouter, DeterministicExports)
         std::to_string(
             wsva::cluster::ClusterSim::kExportSchemaVersion);
     EXPECT_NE(a.find(tag), std::string::npos);
-    EXPECT_NE(a.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(a.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(a.find("\"rerouted_away\""), std::string::npos);
     EXPECT_NE(a.find("\"conservation\""), std::string::npos);
 }

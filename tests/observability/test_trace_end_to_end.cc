@@ -229,11 +229,12 @@ TEST(TraceEndToEnd, ClusterExportJsonCarriesSchemaVersionAndSlo)
     // 2: "fleet_health" joined the export (see DESIGN.md §8).
     // 3: conservation gained "shed", slo gained deadline-miss fields.
     // 4: conservation gained "rerouted_away", global router export.
+    // 5: "build" stamp and "profile" block (continuous profiling).
     // The pinned value is the shared constant, so the exporters and
     // this test can only ever disagree if someone hardcodes a number.
     EXPECT_DOUBLE_EQ(doc.numberAt("schema_version"),
                      ClusterSim::kExportSchemaVersion);
-    EXPECT_EQ(ClusterSim::kExportSchemaVersion, 4);
+    EXPECT_EQ(ClusterSim::kExportSchemaVersion, 5);
 
     const JsonValue *fleet = doc.get("fleet_health");
     ASSERT_NE(fleet, nullptr);
